@@ -1,0 +1,110 @@
+// Command elink-experiments regenerates the paper's evaluation figures
+// (§8) plus the complexity checks and ablations, printing one table per
+// figure. EXPERIMENTS.md records the measured shapes next to the paper's.
+//
+// Usage:
+//
+//	elink-experiments                  # quick scale (seconds)
+//	elink-experiments -paper           # the paper's scale (minutes)
+//	elink-experiments -only fig08,fig13
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"elink/internal/experiments"
+)
+
+var figures = []struct {
+	name string
+	run  func(experiments.Scale) (*experiments.Table, error)
+}{
+	{"fig08", experiments.Fig08},
+	{"fig09", experiments.Fig09},
+	{"fig10", experiments.Fig10},
+	{"fig11", experiments.Fig11},
+	{"fig12", experiments.Fig12},
+	{"fig13", experiments.Fig13},
+	{"fig14", experiments.Fig14},
+	{"fig15", experiments.Fig15},
+	{"path", experiments.PathQueries},
+	{"complexity", experiments.Complexity},
+	{"ablation-unordered", experiments.AblationUnordered},
+	{"ablation-switches", experiments.AblationSwitches},
+	{"ablation-phi", experiments.AblationPhi},
+	{"kmedoids", experiments.KMedoidsComparison},
+	{"recluster", experiments.ReclusterPolicy},
+	{"sampling", experiments.RepresentativeSampling},
+	{"hotspot", experiments.HotspotSpread},
+	{"optimality", experiments.OptimalityGap},
+}
+
+func main() {
+	var (
+		paper    = flag.Bool("paper", false, "run at the paper's full scale (2500-node Death Valley, 100k readings; the spectral baseline dominates and takes many minutes)")
+		only     = flag.String("only", "", "comma-separated figure names to run (default all); names: fig08..fig15, path, complexity, ablation-*")
+		seed     = flag.Int64("seed", 1, "random seed")
+		queries  = flag.Int("queries", 0, "queries per data point (0 = scale default)")
+		taoDays  = flag.Int("tao-days", 0, "override Tao stream length in days")
+		dvNodes  = flag.Int("dv-nodes", 0, "override Death Valley node count")
+		dvTopos  = flag.Int("dv-topologies", 0, "override Death Valley topology count")
+		readings = flag.Int("readings", 0, "override synthetic readings per node")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	sc := experiments.QuickScale()
+	if *paper {
+		sc = experiments.DefaultScale()
+	}
+	sc.Seed = *seed
+	if *queries > 0 {
+		sc.Queries = *queries
+	}
+	if *taoDays > 0 {
+		sc.TaoDays = *taoDays
+	}
+	if *dvNodes > 0 {
+		sc.DVNodes = *dvNodes
+	}
+	if *dvTopos > 0 {
+		sc.DVTopologies = *dvTopos
+	}
+	if *readings > 0 {
+		sc.SynReadings = *readings
+	}
+
+	want := map[string]bool{}
+	for _, n := range strings.Split(*only, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			want[n] = true
+		}
+	}
+
+	for _, f := range figures {
+		if len(want) > 0 && !want[f.name] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := f.run(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "elink-experiments: %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("wall time: %v", time.Since(start).Round(time.Millisecond)))
+		if *csvOut {
+			fmt.Printf("# %s\n", tbl.Title)
+			if err := tbl.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "elink-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			continue
+		}
+		tbl.Render(os.Stdout)
+	}
+}

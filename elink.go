@@ -1,0 +1,282 @@
+// Package elink is a complete implementation of distributed spatial
+// clustering for sensor networks, reproducing "Distributed Spatial
+// Clustering in Sensor Networks" (Meka & Singh, EDBT 2006).
+//
+// The package partitions a sensor network's communication graph into
+// δ-clusters — connected regions whose per-node model features pairwise
+// differ by at most δ — using the in-network ELink algorithm, which runs
+// in O(√N log N) time and O(N) messages on both synchronous and
+// asynchronous networks. On top of the clusters it offers slack-based
+// dynamic maintenance, a distributed M-tree index, and communication-
+// efficient range and path queries, together with the baselines the
+// paper evaluates against (centralized spectral clustering, spanning
+// forest, hierarchical agglomeration, TAG and BFS flooding).
+//
+// # Quick start
+//
+//	g := elink.NewGrid(8, 8)
+//	feats := ...                       // one model feature per node
+//	res, err := elink.Cluster(g, elink.Config{
+//		Delta:    2.0,
+//		Metric:   elink.Scalar(),
+//		Features: feats,
+//	})
+//	// res.Clustering partitions the grid; res.Stats counts messages.
+//
+// Everything runs on a built-in discrete-event network simulator (or a
+// goroutine-per-node asynchronous runtime via ClusterAsync), so results
+// are reproducible and message costs are exact.
+package elink
+
+import (
+	"io"
+
+	"elink/internal/baseline"
+	"elink/internal/cluster"
+	"elink/internal/data"
+	"elink/internal/elink"
+	"elink/internal/index"
+	"elink/internal/metric"
+	"elink/internal/query"
+	"elink/internal/sim"
+	"elink/internal/topology"
+	"elink/internal/update"
+	"elink/internal/viz"
+)
+
+// Core types, aliased from the internal packages so downstream code uses
+// one import path.
+type (
+	// NodeID identifies a sensor node; ids are dense in [0, N).
+	NodeID = topology.NodeID
+	// Point is a position on the deployment plane.
+	Point = topology.Point
+	// Graph is the communication graph over positioned nodes.
+	Graph = topology.Graph
+	// Feature is a node's model-coefficient vector.
+	Feature = metric.Feature
+	// Metric measures feature dissimilarity; it must satisfy the metric
+	// axioms for every pruning rule in this package to be exact.
+	Metric = metric.Metric
+	// Clustering is a partition of the network into clusters.
+	Clustering = cluster.Clustering
+	// Quality summarizes a clustering (cluster count, diameters, sizes).
+	Quality = cluster.Quality
+	// Stats records communication cost (total and per message kind).
+	Stats = cluster.Stats
+	// Result couples a clustering with the cost of computing it.
+	Result = cluster.Result
+	// Config parameterizes the ELink clustering run.
+	Config = elink.Config
+	// Mode selects ELink's signalling technique.
+	Mode = elink.Mode
+	// DelayModel customizes per-hop delays of the simulator.
+	DelayModel = sim.DelayModel
+	// Index is the distributed M-tree plus leader backbone.
+	Index = index.Index
+	// RangeResult is a range query's answer and cost.
+	RangeResult = query.RangeResult
+	// PathResult is a path query's answer and cost.
+	PathResult = query.PathResult
+	// Maintainer applies the slack-Δ update protocol to a clustering.
+	Maintainer = update.Maintainer
+	// MaintainerConfig parameterizes dynamic maintenance.
+	MaintainerConfig = update.Config
+	// UpdateCounters exposes the maintenance screening telemetry.
+	UpdateCounters = update.Counters
+	// CentralizedUpdater is the update baseline that ships coefficients
+	// to a base station.
+	CentralizedUpdater = update.CentralizedUpdater
+	// Dataset bundles a generated network with data and features.
+	Dataset = data.Dataset
+)
+
+// ELink signalling modes.
+const (
+	// Implicit is the timer-driven technique for synchronous networks
+	// (paper §4).
+	Implicit = elink.Implicit
+	// Explicit is the synchronization-wave technique for asynchronous
+	// networks (paper §5).
+	Explicit = elink.Explicit
+	// Unordered is the compressed-schedule ablation sketched at the end
+	// of §5.
+	Unordered = elink.Unordered
+)
+
+// NewGrid builds a rows x cols grid network with 4-neighbour
+// connectivity.
+func NewGrid(rows, cols int) *Graph { return topology.NewGrid(rows, cols) }
+
+// NewRandomGeometric places n nodes uniformly on a side x side square and
+// connects pairs within the radio radius, stitching stray components so
+// the result is connected. Use a math/rand.Rand for reproducibility via
+// topology.NewRandomGeometric if finer control is needed.
+func NewRandomGeometric(n int, side, radius float64, seed int64) *Graph {
+	return topology.NewRandomGeometric(n, side, radius, newRand(seed))
+}
+
+// NewRandomNetwork places n nodes at unit density with approximately the
+// requested average degree (the paper's synthetic deployments use 4).
+func NewRandomNetwork(n int, avgDegree float64, seed int64) *Graph {
+	return topology.RandomGeometricForDegree(n, avgDegree, newRand(seed))
+}
+
+// Euclidean returns the unweighted L2 metric.
+func Euclidean() Metric { return metric.Euclidean{} }
+
+// Manhattan returns the L1 metric.
+func Manhattan() Metric { return metric.Manhattan{} }
+
+// Scalar returns |a-b| over 1-dimensional features.
+func Scalar() Metric { return metric.Scalar{} }
+
+// WeightedEuclidean returns the weighted L2 metric the paper uses to
+// emphasize higher-order model coefficients. Weights must be positive.
+func WeightedEuclidean(weights ...float64) Metric {
+	return metric.NewWeightedEuclidean(weights...)
+}
+
+// SynchronousDelay returns the unit-per-hop delay model (the default).
+func SynchronousDelay() DelayModel { return sim.UnitDelay{} }
+
+// AsynchronousDelay returns a per-hop delay drawn uniformly from
+// [min, max], modelling an asynchronous network inside the deterministic
+// simulator.
+func AsynchronousDelay(min, max float64) DelayModel { return sim.UniformDelay{Min: min, Max: max} }
+
+// Cluster runs ELink on the deterministic event-driven simulator and
+// returns the δ-clustering with its exact communication cost.
+func Cluster(g *Graph, cfg Config) (*Result, error) { return elink.Run(g, cfg) }
+
+// ClusterAsync runs the explicit-signalling ELink on the goroutine-per-
+// node asynchronous runtime. The clustering satisfies the same invariants
+// as Cluster's, but depends on the scheduler's interleaving.
+func ClusterAsync(g *Graph, cfg Config) (*Result, error) { return elink.RunAsync(g, cfg) }
+
+// SpectralConfig parameterizes the centralized baseline.
+type SpectralConfig = baseline.SpectralConfig
+
+// SpectralCluster runs the paper's centralized baseline: spectral
+// clustering at a base station, searching for the smallest k whose
+// clusters all satisfy the δ-condition.
+func SpectralCluster(g *Graph, cfg SpectralConfig) (*Result, error) {
+	return baseline.Spectral(g, cfg)
+}
+
+// ForestConfig parameterizes the spanning-forest baseline.
+type ForestConfig = baseline.ForestConfig
+
+// SpanningForestCluster runs the distributed spanning-forest baseline
+// (§8.3): greedy parent selection followed by a height sweep that splits
+// δ-violating subtrees.
+func SpanningForestCluster(g *Graph, cfg ForestConfig) (*Result, error) {
+	return baseline.SpanningForest(g, cfg)
+}
+
+// HierConfig parameterizes the hierarchical baseline.
+type HierConfig = baseline.HierConfig
+
+// HierarchicalCluster runs the distributed agglomerative baseline (§8.3):
+// mutually-best adjacent clusters merge while the δ-condition holds.
+func HierarchicalCluster(g *Graph, cfg HierConfig) (*Result, error) {
+	return baseline.Hierarchical(g, cfg)
+}
+
+// BuildIndex constructs the distributed M-tree index and leader backbone
+// over an existing clustering (§7.1).
+func BuildIndex(g *Graph, c *Clustering, feats []Feature, m Metric) (*Index, error) {
+	return index.Build(g, c, feats, m)
+}
+
+// RangeQuery finds every node whose feature is within radius r of q,
+// pruning whole clusters by their covering radii and descending the
+// M-tree only where the boundary cuts through (§7.2).
+func RangeQuery(idx *Index, q Feature, r float64, initiator NodeID) *RangeResult {
+	return query.Range(idx, q, r, initiator)
+}
+
+// PathQuery returns a path from src to dst on which every node's feature
+// stays at least gamma away from the danger feature (§7.3).
+func PathQuery(idx *Index, danger Feature, gamma float64, src, dst NodeID) *PathResult {
+	return query.Path(idx, danger, gamma, src, dst)
+}
+
+// TAGCost returns the fixed per-query cost of the TAG aggregation
+// baseline on g: twice the overlay spanning tree's edges.
+func TAGCost(g *Graph) Stats { return query.TAG(g) }
+
+// BFSFloodPath runs the path-query baseline: flood the safe region from
+// the source until the destination is reached.
+func BFSFloodPath(g *Graph, feats []Feature, m Metric, danger Feature, gamma float64, src, dst NodeID) *PathResult {
+	return query.BFSFlood(g, feats, m, danger, gamma, src, dst)
+}
+
+// NewMaintainer wraps a clustering with the slack-Δ update protocol (§6).
+// The clustering should have been computed with threshold δ − 2Δ.
+func NewMaintainer(g *Graph, c *Clustering, feats []Feature, cfg MaintainerConfig) (*Maintainer, error) {
+	return update.NewMaintainer(g, c, feats, cfg)
+}
+
+// NewCentralizedUpdater builds the §8.5 update baseline with the base
+// station at base; each violation ships coeffs coefficient messages over
+// the node's hop distance.
+func NewCentralizedUpdater(g *Graph, base NodeID, feats []Feature, cfg MaintainerConfig, coeffs int64) *CentralizedUpdater {
+	return update.NewCentralizedUpdater(g, base, feats, cfg, coeffs)
+}
+
+// TaoDataset generates the Tao-like sea-surface-temperature dataset
+// (spatially correlated, dynamic; see DESIGN.md for the substitution).
+func TaoDataset(days int, seed int64) (*Dataset, error) {
+	return data.Tao(data.TaoConfig{Days: days, Seed: seed})
+}
+
+// DeathValleyDataset generates the terrain elevation dataset (spatially
+// correlated, static).
+func DeathValleyDataset(nodes int, seed int64) (*Dataset, error) {
+	return data.DeathValley(data.DeathValleyConfig{Nodes: nodes, Seed: seed})
+}
+
+// SyntheticDataset generates the paper's spatially uncorrelated AR(1)
+// dataset.
+func SyntheticDataset(nodes, readings int, seed int64) (*Dataset, error) {
+	return data.Synthetic(data.SyntheticConfig{Nodes: nodes, Readings: readings, Seed: seed})
+}
+
+// SVGOptions controls WriteNetworkSVG rendering.
+type SVGOptions = viz.Options
+
+// WriteNetworkSVG renders the network as a standalone SVG plan view,
+// coloured by the clustering (nil for a plain network), with optional
+// edges, cluster-root rings, node highlights and path overlays — the
+// visual counterpart of the paper's figures 1 and 3–5.
+func WriteNetworkSVG(w io.Writer, g *Graph, c *Clustering, opts SVGOptions) error {
+	return viz.WriteSVG(w, g, c, opts)
+}
+
+// KMedoidsConfig parameterizes the distributed k-medoids alternative.
+type KMedoidsConfig = baseline.KMedoidsConfig
+
+// KMedoidsCluster runs the distributed k-medoids alternative the paper's
+// related-work section dismisses as communication intensive (§9): every
+// refinement round broadcasts all medoids network-wide. It exists to
+// quantify that cost argument against ELink.
+func KMedoidsCluster(g *Graph, cfg KMedoidsConfig) (*Result, error) {
+	return baseline.KMedoids(g, cfg)
+}
+
+// ClusterTxPerNode runs ELink like Cluster but returns per-node
+// transmission counts (each hop charged to its sender) — the input to
+// energy and network-lifetime analyses.
+func ClusterTxPerNode(g *Graph, cfg Config) ([]int64, error) {
+	return elink.TxPerNode(g, cfg)
+}
+
+// OptimalCluster computes a minimum δ-clustering exactly by subset DP.
+// δ-clustering is NP-complete (paper Theorem 1), so this is exponential
+// and limited to small instances (n ≤ 16); it is the ground-truth
+// reference the optimality-gap experiment measures the distributed
+// algorithms against.
+func OptimalCluster(g *Graph, feats []Feature, m Metric, delta float64) (*Clustering, error) {
+	return cluster.Optimal(g, feats, m, delta)
+}

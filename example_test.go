@@ -1,0 +1,65 @@
+package elink_test
+
+import (
+	"fmt"
+
+	"elink"
+)
+
+// Example clusters a tiny grid with two observation regimes and runs a
+// range query over the resulting index.
+func Example() {
+	g := elink.NewGrid(4, 4)
+	feats := make([]elink.Feature, g.N())
+	for u := 0; u < g.N(); u++ {
+		if g.Pos[u].X >= 2 {
+			feats[u] = elink.Feature{5}
+		} else {
+			feats[u] = elink.Feature{0}
+		}
+	}
+
+	res, err := elink.Cluster(g, elink.Config{
+		Delta:    1,
+		Metric:   elink.Scalar(),
+		Features: feats,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.Clustering.NumClusters())
+
+	idx, err := elink.BuildIndex(g, res.Clustering, feats, elink.Scalar())
+	if err != nil {
+		panic(err)
+	}
+	q := elink.RangeQuery(idx, elink.Feature{5}, 0.5, 0)
+	fmt.Println("matches:", len(q.Matches))
+	// Output:
+	// clusters: 2
+	// matches: 8
+}
+
+// ExampleNewMaintainer shows the slack-Δ update protocol silencing a
+// small feature drift.
+func ExampleNewMaintainer() {
+	g := elink.NewGrid(3, 3)
+	feats := make([]elink.Feature, g.N())
+	for i := range feats {
+		feats[i] = elink.Feature{1}
+	}
+	res, err := elink.Cluster(g, elink.Config{Delta: 1.0, Metric: elink.Scalar(), Features: feats})
+	if err != nil {
+		panic(err)
+	}
+	m, err := elink.NewMaintainer(g, res.Clustering, feats, elink.MaintainerConfig{
+		Delta: 2.0, Slack: 0.5, Metric: elink.Scalar(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	m.Update(4, elink.Feature{1.3}) // drift of 0.3 <= slack: silent
+	fmt.Println("messages:", m.Stats().Messages)
+	// Output:
+	// messages: 0
+}

@@ -1,0 +1,3 @@
+module elink
+
+go 1.22

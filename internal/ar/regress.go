@@ -1,0 +1,46 @@
+package ar
+
+import (
+	"fmt"
+
+	"elink/internal/linalg"
+)
+
+// FitLS solves the general least-squares problem y ≈ X·coef for an
+// arbitrary design matrix given as rows of regressors. The Tao dataset's
+// mixed model x_t = α₁x_{t−1} + β₁μ_{T−1} + β₂μ_{T−2} + β₃μ_{T−3} (§8.1)
+// is fitted through this entry point, with each row holding the lagged
+// sample and the three lagged daily means.
+func FitLS(rows [][]float64, y []float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("ar: FitLS needs at least one observation")
+	}
+	if len(rows) != len(y) {
+		return nil, fmt.Errorf("ar: %d rows but %d responses", len(rows), len(y))
+	}
+	k := len(rows[0])
+	if k == 0 {
+		return nil, fmt.Errorf("ar: empty regressor rows")
+	}
+	p := linalg.NewMatrix(k, k)
+	b := make([]float64, k)
+	for t, x := range rows {
+		if len(x) != k {
+			return nil, fmt.Errorf("ar: ragged regressor row %d (%d vs %d)", t, len(x), k)
+		}
+		for i := 0; i < k; i++ {
+			b[i] += x[i] * y[t]
+			for j := 0; j < k; j++ {
+				p.Set(i, j, p.At(i, j)+x[i]*x[j])
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		p.Set(i, i, p.At(i, i)+1e-9)
+	}
+	coef, err := linalg.Solve(p, b)
+	if err != nil {
+		return nil, fmt.Errorf("ar: normal equations singular: %w", err)
+	}
+	return coef, nil
+}

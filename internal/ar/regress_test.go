@@ -1,0 +1,51 @@
+package ar
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitLSRecoversPlane(t *testing.T) {
+	// y = 2a - 3b, exactly.
+	rows := [][]float64{{1, 0}, {0, 1}, {1, 1}, {2, 1}, {1, 2}}
+	y := make([]float64, len(rows))
+	for i, r := range rows {
+		y[i] = 2*r[0] - 3*r[1]
+	}
+	coef, err := FitLS(rows, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(coef[0]-2) > 1e-6 || math.Abs(coef[1]+3) > 1e-6 {
+		t.Errorf("coef = %v, want [2 -3]", coef)
+	}
+}
+
+func TestFitLSValidation(t *testing.T) {
+	if _, err := FitLS(nil, nil); err == nil {
+		t.Error("accepted empty input")
+	}
+	if _, err := FitLS([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+	if _, err := FitLS([][]float64{{}}, []float64{1}); err == nil {
+		t.Error("accepted empty regressor rows")
+	}
+	if _, err := FitLS([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("accepted ragged rows")
+	}
+}
+
+func TestFitLSDegenerateRegressorsRidge(t *testing.T) {
+	// Identical columns: the ridge term keeps the solve alive.
+	rows := [][]float64{{1, 1}, {2, 2}, {3, 3}}
+	y := []float64{2, 4, 6}
+	coef, err := FitLS(rows, y)
+	if err != nil {
+		t.Fatalf("ridge should rescue collinear regressors: %v", err)
+	}
+	// Prediction must still be right even if the split is arbitrary.
+	if pred := coef[0]*2 + coef[1]*2; math.Abs(pred-4) > 1e-3 {
+		t.Errorf("prediction = %v, want 4", pred)
+	}
+}

@@ -1,0 +1,100 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"elink/internal/metric"
+	"elink/internal/topology"
+)
+
+func TestKMedoidsUniformOneCluster(t *testing.T) {
+	g := topology.NewGrid(4, 4)
+	feats := uniformFeatures(g.N(), 3)
+	res, err := KMedoids(g, KMedoidsConfig{Delta: 1, Metric: metric.Scalar{}, Features: feats, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, "kmedoids", g, res, feats, 1)
+	if res.Clustering.NumClusters() != 1 {
+		t.Errorf("NumClusters = %d, want 1", res.Clustering.NumClusters())
+	}
+}
+
+func TestKMedoidsFindsBands(t *testing.T) {
+	g := topology.NewGrid(4, 12)
+	rng := rand.New(rand.NewSource(2))
+	feats := bandedFeatures(g, 3, 10, rng)
+	res, err := KMedoids(g, KMedoidsConfig{Delta: 2, Metric: metric.Scalar{}, Features: feats, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, "kmedoids", g, res, feats, 2)
+	if n := res.Clustering.NumClusters(); n < 3 || n > 6 {
+		t.Errorf("NumClusters = %d, want near the 3 bands", n)
+	}
+}
+
+func TestKMedoidsCostsMoreThanForest(t *testing.T) {
+	// The §9 argument: per-round network-wide medoid broadcasts dwarf the
+	// local-message algorithms.
+	g := topology.NewGrid(8, 8)
+	rng := rand.New(rand.NewSource(4))
+	feats := bandedFeatures(g, 3, 8, rng)
+	km, err := KMedoids(g, KMedoidsConfig{Delta: 2, Metric: metric.Scalar{}, Features: feats, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := SpanningForest(g, ForestConfig{Delta: 2, Metric: metric.Scalar{}, Features: feats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.Stats.Messages <= fo.Stats.Messages {
+		t.Errorf("k-medoids (%d msgs) should cost more than spanning forest (%d)",
+			km.Stats.Messages, fo.Stats.Messages)
+	}
+	if km.Stats.Breakdown["medoid"] == 0 || km.Stats.Breakdown["refresh"] == 0 {
+		t.Errorf("breakdown missing kinds: %v", km.Stats.Breakdown)
+	}
+}
+
+func TestKMedoidsSingletonFallback(t *testing.T) {
+	g := topology.NewGrid(3, 3)
+	feats := make([]metric.Feature, g.N())
+	for i := range feats {
+		feats[i] = metric.Feature{float64(i * 100)}
+	}
+	res, err := KMedoids(g, KMedoidsConfig{Delta: 0.5, Metric: metric.Scalar{}, Features: feats, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, "kmedoids", g, res, feats, 0.5)
+	if res.Clustering.NumClusters() != g.N() {
+		t.Errorf("NumClusters = %d, want %d singletons", res.Clustering.NumClusters(), g.N())
+	}
+}
+
+func TestKMedoidsRejectsBadFeatures(t *testing.T) {
+	g := topology.NewGrid(2, 2)
+	if _, err := KMedoids(g, KMedoidsConfig{Delta: 1, Metric: metric.Scalar{}, Features: uniformFeatures(3, 0)}); err == nil {
+		t.Error("accepted wrong feature count")
+	}
+}
+
+func TestSeedMedoidsFarthestFirst(t *testing.T) {
+	feats := []metric.Feature{{0}, {1}, {10}, {11}, {20}}
+	rng := rand.New(rand.NewSource(1))
+	got := seedMedoids(feats, metric.Scalar{}, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("got %d medoids", len(got))
+	}
+	// Farthest-first from any start must cover the three groups {0,1},
+	// {10,11}, {20}.
+	groups := map[int]bool{}
+	for _, m := range got {
+		groups[int(feats[m][0])/10] = true
+	}
+	if len(groups) != 3 {
+		t.Errorf("medoids %v do not cover the three groups", got)
+	}
+}

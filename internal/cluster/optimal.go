@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"elink/internal/metric"
+	"elink/internal/topology"
+)
+
+// MaxOptimalNodes bounds the exact solver: the subset-DP is O(3^n).
+const MaxOptimalNodes = 16
+
+// Optimal computes a minimum δ-clustering (Definition 1) exactly, by
+// dynamic programming over node subsets: enumerate every subset whose
+// induced subgraph is connected and δ-compact, then find the smallest
+// exact cover. δ-clustering is NP-complete (paper Theorem 1), so this is
+// exponential and restricted to n ≤ MaxOptimalNodes; its role is to be
+// the ground-truth reference that the distributed algorithms' quality is
+// measured against on small instances.
+func Optimal(g *topology.Graph, feats []metric.Feature, m metric.Metric, delta float64) (*Clustering, error) {
+	n := g.N()
+	if n == 0 {
+		return &Clustering{}, nil
+	}
+	if n > MaxOptimalNodes {
+		return nil, fmt.Errorf("cluster: exact solver limited to %d nodes, got %d", MaxOptimalNodes, n)
+	}
+	if len(feats) != n {
+		return nil, fmt.Errorf("cluster: %d features for %d nodes", len(feats), n)
+	}
+
+	// pairOK[u] = bitmask of nodes within δ of u (including u).
+	pairOK := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		pairOK[u] |= 1 << u
+		for v := u + 1; v < n; v++ {
+			if m.Distance(feats[u], feats[v]) <= delta+1e-12 {
+				pairOK[u] |= 1 << v
+				pairOK[v] |= 1 << u
+			}
+		}
+	}
+	adj := make([]uint32, n)
+	for u := 0; u < n; u++ {
+		for _, v := range g.Neighbors(topology.NodeID(u)) {
+			adj[u] |= 1 << v
+		}
+	}
+
+	full := uint32(1)<<n - 1
+	compact := make([]bool, full+1)
+	connected := make([]bool, full+1)
+	compact[0] = true
+	for mask := uint32(1); mask <= full; mask++ {
+		h := highestBit(mask)
+		rest := mask &^ (1 << h)
+		// δ-compact iff the rest is compact and h is within δ of all of it.
+		compact[mask] = compact[rest] && pairOK[h]&rest == rest
+		connected[mask] = maskConnected(mask, adj)
+	}
+
+	// dp[mask] = minimum clusters covering exactly the nodes of mask;
+	// choice[mask] remembers the cluster containing mask's lowest node.
+	const inf = math.MaxInt32
+	dp := make([]int32, full+1)
+	choice := make([]uint32, full+1)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	for mask := uint32(0); mask < full; mask++ {
+		if dp[mask] == inf {
+			continue
+		}
+		remaining := full &^ mask
+		low := lowestBit(remaining)
+		lowBit := uint32(1) << low
+		// Enumerate the submasks of `remaining` that contain `low`.
+		cand := remaining &^ lowBit
+		for sub := cand; ; sub = (sub - 1) & cand {
+			s := sub | lowBit
+			if compact[s] && connected[s] && dp[mask]+1 < dp[mask|s] {
+				dp[mask|s] = dp[mask] + 1
+				choice[mask|s] = s
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	if dp[full] == inf {
+		return nil, fmt.Errorf("cluster: no feasible δ-clustering (internal error: singletons are always feasible)")
+	}
+
+	// Reconstruct.
+	labels := make([]int, n)
+	mask := full
+	next := 0
+	for mask != 0 {
+		s := choice[mask]
+		for u := 0; u < n; u++ {
+			if s&(1<<u) != 0 {
+				labels[u] = next
+			}
+		}
+		next++
+		mask &^= s
+	}
+	return FromAssignment(labels), nil
+}
+
+func maskConnected(mask uint32, adj []uint32) bool {
+	start := lowestBit(mask)
+	seen := uint32(1) << start
+	frontier := seen
+	for frontier != 0 {
+		var grow uint32
+		f := frontier
+		for f != 0 {
+			u := lowestBit(f)
+			f &^= 1 << u
+			grow |= adj[u] & mask
+		}
+		frontier = grow &^ seen
+		seen |= grow
+	}
+	return seen&mask == mask
+}
+
+func lowestBit(x uint32) int {
+	for i := 0; i < 32; i++ {
+		if x&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+func highestBit(x uint32) int {
+	for i := 31; i >= 0; i-- {
+		if x&(1<<i) != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"elink/internal/metric"
+	"elink/internal/topology"
+)
+
+// ReduceCliqueCover maps a clique-cover instance to a δ-clustering
+// instance, following the paper's Theorem 1 reduction exactly: the
+// communication graph becomes a complete graph over |V| nodes, δ = 1,
+// and the feature distance is 1 for pairs joined by an edge of G and 2
+// otherwise (a metric). A partition of G into c cliques then corresponds
+// one-to-one with a δ-clustering into c clusters.
+//
+// edges lists G's undirected edges over vertex ids [0, n). The returned
+// pieces plug straight into Optimal (or any clusterer).
+func ReduceCliqueCover(n int, edges [][2]int) (*topology.Graph, []metric.Feature, metric.Metric, float64) {
+	pos := make([]topology.Point, n)
+	for i := range pos {
+		pos[i] = topology.Point{X: float64(i), Y: 0}
+	}
+	cg := topology.NewGraph(pos)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			cg.AddEdge(topology.NodeID(u), topology.NodeID(v))
+		}
+	}
+	d := make([][]float64, n)
+	for i := range d {
+		d[i] = make([]float64, n)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = 2
+			}
+		}
+	}
+	for _, e := range edges {
+		d[e[0]][e[1]] = 1
+		d[e[1]][e[0]] = 1
+	}
+	feats := make([]metric.Feature, n)
+	for i := range feats {
+		feats[i] = metric.Feature{float64(i)}
+	}
+	return cg, feats, metric.Matrix{D: d}, 1
+}
+
+// CliqueCoverNumber computes the minimum number of cliques partitioning
+// the graph exactly (equivalently, the chromatic number of the
+// complement), by the same subset DP as Optimal. Exponential; for tests
+// of the Theorem 1 reduction only (n ≤ MaxOptimalNodes).
+func CliqueCoverNumber(n int, edges [][2]int) int {
+	adj := make([]uint32, n)
+	for _, e := range edges {
+		adj[e[0]] |= 1 << e[1]
+		adj[e[1]] |= 1 << e[0]
+	}
+	full := uint32(1)<<n - 1
+	isClique := make([]bool, full+1)
+	isClique[0] = true
+	for mask := uint32(1); mask <= full; mask++ {
+		h := highestBit(mask)
+		rest := mask &^ (1 << h)
+		isClique[mask] = isClique[rest] && adj[h]&rest == rest
+	}
+	const inf = int32(1 << 30)
+	dp := make([]int32, full+1)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = 0
+	for mask := uint32(0); mask < full; mask++ {
+		if dp[mask] == inf {
+			continue
+		}
+		remaining := full &^ mask
+		low := lowestBit(remaining)
+		lowBit := uint32(1) << low
+		cand := remaining &^ lowBit
+		for sub := cand; ; sub = (sub - 1) & cand {
+			s := sub | lowBit
+			if isClique[s] && dp[mask]+1 < dp[mask|s] {
+				dp[mask|s] = dp[mask] + 1
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	return int(dp[full])
+}

@@ -1,0 +1,642 @@
+// Package elink implements the paper's core contribution: the ELink
+// distributed δ-clustering algorithm (paper §3–§5).
+//
+// ELink grows clusters from sentinel nodes — the quadtree cell leaders —
+// level by level. The single level-0 sentinel expands first; once its
+// cluster is δ-compact the level-1 sentinels start, and so on, until every
+// node is clustered. A sentinel elects itself cluster root and includes a
+// neighbour j whenever d(F_root, F_j) ≤ δ/2; the triangle inequality then
+// bounds every intra-cluster pair by δ. Nodes may switch clusters up to c
+// times when the new root is a strict improvement (gain > φ) at the same
+// sentinel level.
+//
+// Two signalling techniques order the sentinel levels:
+//
+//   - Implicit (§4, synchronous networks): every sentinel at level l
+//     starts on a local timer at T = Σ_{j<l} t_j, where t_l is the
+//     worst-case expansion budget derived from κ = (1+γ)√(N/2).
+//   - Explicit (§5, asynchronous networks): a completion wave (ack1/ack2
+//     up the cluster trees, phase1 up the quadtree, phase2 back down,
+//     start to the next level) replaces the timers.
+//
+// Both run in O(√N log N) time and O(N) messages (Theorems 2 and 3).
+package elink
+
+import (
+	"fmt"
+
+	"elink/internal/cluster"
+	"elink/internal/metric"
+	"elink/internal/sim"
+	"elink/internal/topology"
+)
+
+// Mode selects the signalling technique.
+type Mode int
+
+const (
+	// Implicit is the timer-driven technique for synchronous networks.
+	Implicit Mode = iota
+	// Explicit is the synchronization-wave technique for asynchronous
+	// networks.
+	Explicit
+	// Unordered is the ablation sketched at the end of §5: the level
+	// schedule is compressed to one time unit per level, so sentinel sets
+	// race each other. It finishes in O(√N) time but clusters worse.
+	Unordered
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Implicit:
+		return "implicit"
+	case Explicit:
+		return "explicit"
+	case Unordered:
+		return "unordered"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Message kinds emitted by the protocol, exported so experiments can
+// decompose costs.
+const (
+	KindExpand = "expand"
+	KindAck1   = "ack1"
+	KindNack   = "nack"
+	KindAck2   = "ack2"
+	KindPhase1 = "phase1"
+	KindPhase2 = "phase2"
+	KindStart  = "start"
+)
+
+// Config parameterizes a clustering run.
+type Config struct {
+	// Delta is the dissimilarity threshold δ of Definition 1.
+	Delta float64
+	// Phi is the quality gain a clustered node must see before switching
+	// clusters. Defaults to 0.1·Delta, the paper's experimental setting.
+	Phi float64
+	// MaxSwitches is the paper's constant c (default 4).
+	MaxSwitches int
+	// Gamma is the path stretch factor used by the implicit schedule
+	// (default 0.3, the middle of the paper's 0.2–0.4 range).
+	Gamma float64
+	// Metric measures feature dissimilarity; it must be a true metric.
+	Metric metric.Metric
+	// Features holds one feature per node.
+	Features []metric.Feature
+	// Mode selects implicit, explicit or unordered signalling.
+	Mode Mode
+	// Delay overrides the hop delay model (nil = synchronous unit delay).
+	Delay sim.DelayModel
+	// Loss injects independent per-hop message loss with the given
+	// probability (fault injection). Implicit mode degrades gracefully —
+	// every node still self-clusters on its own timer, at reduced
+	// quality. Explicit mode may fail to cluster some nodes when
+	// synchronization messages are lost; Run then returns an error
+	// instead of a partial clustering.
+	Loss float64
+	// Seed drives any randomized delay model and the loss process.
+	Seed int64
+}
+
+func (c *Config) withDefaults(n int) Config {
+	out := *c
+	if out.Phi == 0 {
+		out.Phi = 0.1 * out.Delta
+	}
+	if out.MaxSwitches == 0 {
+		out.MaxSwitches = 4
+	}
+	if out.Gamma == 0 {
+		out.Gamma = 0.3
+	}
+	return out
+}
+
+func (c *Config) validate(g *topology.Graph) error {
+	if c.Delta < 0 {
+		return fmt.Errorf("elink: negative delta %v", c.Delta)
+	}
+	if c.Metric == nil {
+		return fmt.Errorf("elink: nil metric")
+	}
+	if len(c.Features) != g.N() {
+		return fmt.Errorf("elink: %d features for %d nodes", len(c.Features), g.N())
+	}
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("elink: loss %v out of [0,1)", c.Loss)
+	}
+	if c.Mode == Explicit && !g.Connected() {
+		// The synchronization wave routes between quadtree cell leaders;
+		// a partitioned network cannot deliver it. (Implicit mode works
+		// per component: every node self-clusters on its own timer.)
+		return fmt.Errorf("elink: explicit signalling requires a connected network")
+	}
+	return nil
+}
+
+// Run executes ELink on g and returns the resulting δ-clustering together
+// with its communication cost. The returned clustering is normalized so
+// every cluster's induced subgraph is connected (see
+// Clustering.SplitDisconnected).
+func Run(g *topology.Graph, cfg Config) (*cluster.Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(g.N())
+	qt := topology.BuildQuadtree(g)
+	sh := newShared(g, qt, cfg)
+
+	net := sim.NewNetwork(g, cfg.Delay, cfg.Seed)
+	if cfg.Loss > 0 {
+		net.SetLoss(cfg.Loss)
+	}
+	nodes := make([]*node, g.N())
+	for u := range nodes {
+		nodes[u] = newNode(topology.NodeID(u), sh)
+		net.SetProtocol(topology.NodeID(u), nodes[u])
+	}
+	end := net.Run()
+
+	return assemble(g, nodes, cluster.Stats{
+		Messages:  net.TotalMessages(),
+		Breakdown: net.MessageBreakdown(),
+		Time:      end,
+	})
+}
+
+// RunAsync executes the explicit-signalling protocol on the goroutine
+// runtime (one goroutine per node, channels as links). The clustering it
+// returns satisfies the same invariants as Run's, but the exact clusters
+// depend on the scheduler's interleaving.
+func RunAsync(g *topology.Graph, cfg Config) (*cluster.Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(g.N())
+	if cfg.Mode != Explicit {
+		return nil, fmt.Errorf("elink: RunAsync requires Explicit mode (timers on the async runtime are conservative; use Run for %v)", cfg.Mode)
+	}
+	qt := topology.BuildQuadtree(g)
+	sh := newShared(g, qt, cfg)
+
+	net := sim.NewAsyncNetwork(g, cfg.Seed)
+	nodes := make([]*node, g.N())
+	for u := range nodes {
+		nodes[u] = newNode(topology.NodeID(u), sh)
+		net.SetProtocol(topology.NodeID(u), nodes[u])
+	}
+	end := net.Run()
+
+	return assemble(g, nodes, cluster.Stats{
+		Messages:  net.TotalMessages(),
+		Breakdown: net.MessageBreakdown(),
+		Time:      end,
+	})
+}
+
+func assemble(g *topology.Graph, nodes []*node, stats cluster.Stats) (*cluster.Result, error) {
+	rootOf := make([]topology.NodeID, g.N())
+	for u, nd := range nodes {
+		if !nd.clustered {
+			return nil, fmt.Errorf("elink: node %d finished unclustered (lost synchronization messages under fault injection, or a protocol bug)", u)
+		}
+		rootOf[u] = nd.root
+	}
+	c := cluster.FromRoots(rootOf).SplitDisconnected(g)
+	return &cluster.Result{Clustering: c, Stats: stats}, nil
+}
+
+// shared holds the immutable inputs every node reads.
+type shared struct {
+	g   *topology.Graph
+	qt  *topology.Quadtree
+	cfg Config
+
+	// Implicit schedule.
+	starts []float64
+
+	// Explicit-mode cell bookkeeping, all derived from the quadtree.
+	maxDepth []int // per cell: deepest occupied level in its subtree
+}
+
+func newShared(g *topology.Graph, qt *topology.Quadtree, cfg Config) *shared {
+	sh := &shared{g: g, qt: qt, cfg: cfg}
+	starts, _ := qt.ImplicitSchedule(g.N(), cfg.Gamma)
+	sh.starts = starts
+	sh.maxDepth = make([]int, len(qt.Cells))
+	// Cells are created parent-before-children, so a reverse sweep
+	// propagates subtree depths upward.
+	for i := len(qt.Cells) - 1; i >= 0; i-- {
+		c := &qt.Cells[i]
+		sh.maxDepth[i] = c.Level
+		for _, ch := range c.Children {
+			if sh.maxDepth[ch] > sh.maxDepth[i] {
+				sh.maxDepth[i] = sh.maxDepth[ch]
+			}
+		}
+	}
+	return sh
+}
+
+func (sh *shared) feature(u topology.NodeID) metric.Feature { return sh.cfg.Features[u] }
+
+func (sh *shared) dist(a, b metric.Feature) float64 { return sh.cfg.Metric.Distance(a, b) }
+
+// cellsLedBy returns the cells u leads, shallowest first.
+func (sh *shared) cellsLedBy(u topology.NodeID) []int {
+	var out []int
+	for _, c := range sh.qt.Cells {
+		if c.Leader == u {
+			out = append(out, c.ID)
+		}
+	}
+	return out
+}
+
+// expandPayload carries a cluster-expansion offer.
+type expandPayload struct {
+	Root     topology.NodeID
+	RootFeat metric.Feature
+	Level    int   // sentinel level of the cluster root (the paper's n)
+	Epoch    int64 // the sender's expansion session, for ack routing
+}
+
+// replyPayload references the expansion session being acknowledged.
+type replyPayload struct {
+	Epoch int64
+}
+
+// phasePayload carries the synchronization round between cell leaders.
+type phasePayload struct {
+	Round  int
+	ToCell int
+}
+
+// startPayload instructs a cell leader to run its ELink obligation.
+type startPayload struct {
+	ToCell int
+}
+
+// session tracks one expansion wave a node initiated: the expand batch it
+// sent, the replies still outstanding, and the cluster-tree children it
+// acquired. Completion (no pending replies, no live children) propagates
+// an ack2 to the session's parent — or, for a sentinel's root session,
+// reports the cluster's expansion as finished to the quadtree machinery.
+type session struct {
+	epoch       int64
+	parent      topology.NodeID // cluster-tree parent; -1 for a root session
+	parentEpoch int64
+	pending     int // outstanding ack1/nack replies
+	children    int
+	done        bool
+	cellID      int // obligation fulfilled by this root session; -1 otherwise
+}
+
+// node is the per-sensor protocol state machine.
+type node struct {
+	sh *shared
+	id topology.NodeID
+
+	// Cluster membership (the paper's ⟨r_i, F_{r_i}, p⟩ plus level m).
+	clustered bool
+	root      topology.NodeID
+	rootFeat  metric.Feature
+	parent    topology.NodeID
+	level     int // m: sentinel level of the cluster that holds this node
+
+	switches  int
+	nextEpoch int64
+	sessions  map[int64]*session
+
+	// Session of the most recent join, so a later switch can be related
+	// to the right obligations. (Sessions complete independently, so no
+	// cleanup is needed on switch.)
+	// Explicit-mode per-cell synchronization state, keyed by cell id.
+	phase1Seen map[int]int // phase1 replies received for the active round
+	obligated  map[int]bool
+}
+
+func newNode(id topology.NodeID, sh *shared) *node {
+	return &node{
+		sh:         sh,
+		id:         id,
+		root:       -1,
+		parent:     -1,
+		level:      -1,
+		sessions:   make(map[int64]*session),
+		phase1Seen: make(map[int]int),
+		obligated:  make(map[int]bool),
+	}
+}
+
+func (n *node) explicit() bool { return n.sh.cfg.Mode == Explicit }
+
+// Init implements sim.Protocol.
+func (n *node) Init(ctx sim.Context) {
+	switch n.sh.cfg.Mode {
+	case Implicit, Unordered:
+		for _, cid := range n.sh.cellsLedBy(n.id) {
+			l := n.sh.qt.Cells[cid].Level
+			var at float64
+			if n.sh.cfg.Mode == Implicit {
+				at = n.sh.starts[l]
+			} else {
+				at = float64(l) // compressed schedule: one unit per level
+			}
+			ctx.SetTimer(at, fmt.Sprintf("elink:%d", l))
+		}
+	case Explicit:
+		// Only the root-cell leader self-starts; everything else waits
+		// for the synchronization wave.
+		if n.sh.qt.Cells[0].Leader == n.id {
+			n.runObligation(ctx, 0)
+		}
+	}
+}
+
+// OnTimer implements sim.Protocol (implicit signalling, Fig 17).
+func (n *node) OnTimer(ctx sim.Context, key string) {
+	var l int
+	if _, err := fmt.Sscanf(key, "elink:%d", &l); err != nil {
+		return
+	}
+	n.startCluster(ctx, l, -1)
+}
+
+// startCluster is the paper's ELink(i): if unclustered, become the root of
+// a new cluster at sentinel level l and expand. cellID, when >= 0, is the
+// explicit-mode obligation this start fulfils.
+func (n *node) startCluster(ctx sim.Context, l int, cellID int) {
+	if n.clustered {
+		if cellID >= 0 {
+			n.reportObligation(ctx, cellID)
+		}
+		return
+	}
+	n.clustered = true
+	n.root = n.id
+	n.rootFeat = n.sh.feature(n.id)
+	n.parent = n.id
+	n.level = l
+
+	s := n.newSession(-1, 0, cellID)
+	n.broadcastExpand(ctx, s, -1)
+	n.maybeComplete(ctx, s)
+}
+
+func (n *node) newSession(parent topology.NodeID, parentEpoch int64, cellID int) *session {
+	epoch := int64(n.id)<<32 | n.nextEpoch
+	n.nextEpoch++
+	s := &session{epoch: epoch, parent: parent, parentEpoch: parentEpoch, cellID: cellID}
+	n.sessions[epoch] = s
+	return s
+}
+
+// broadcastExpand offers the current cluster to every neighbour except
+// the one the node just joined through.
+func (n *node) broadcastExpand(ctx sim.Context, s *session, except topology.NodeID) {
+	p := expandPayload{Root: n.root, RootFeat: n.rootFeat, Level: n.level, Epoch: s.epoch}
+	for _, nb := range ctx.Neighbors() {
+		if nb == except {
+			continue
+		}
+		ctx.Send(nb, KindExpand, p)
+		s.pending++
+	}
+}
+
+// OnMessage implements sim.Protocol.
+func (n *node) OnMessage(ctx sim.Context, msg sim.Message) {
+	switch msg.Kind {
+	case KindExpand:
+		n.onExpand(ctx, msg)
+	case KindAck1:
+		p := msg.Payload.(replyPayload)
+		if s := n.sessions[p.Epoch]; s != nil {
+			s.pending--
+			s.children++
+			n.maybeComplete(ctx, s)
+		}
+	case KindNack:
+		p := msg.Payload.(replyPayload)
+		if s := n.sessions[p.Epoch]; s != nil {
+			s.pending--
+			n.maybeComplete(ctx, s)
+		}
+	case KindAck2:
+		p := msg.Payload.(replyPayload)
+		if s := n.sessions[p.Epoch]; s != nil {
+			s.children--
+			n.maybeComplete(ctx, s)
+		}
+	case KindPhase1:
+		n.onPhase1(ctx, msg.Payload.(phasePayload))
+	case KindPhase2:
+		n.onPhase2(ctx, msg.Payload.(phasePayload))
+	case KindStart:
+		p := msg.Payload.(startPayload)
+		n.runObligation(ctx, p.ToCell)
+	}
+}
+
+// onExpand applies Fig 16's join/switch rule.
+func (n *node) onExpand(ctx sim.Context, msg sim.Message) {
+	p := msg.Payload.(expandPayload)
+	dNew := n.sh.dist(p.RootFeat, n.sh.feature(n.id))
+
+	join := false
+	if dNew <= n.sh.cfg.Delta/2 {
+		if !n.clustered {
+			join = true
+		} else if p.Root != n.root && p.Level == n.level && n.switches < n.sh.cfg.MaxSwitches {
+			// Switch for a strict quality gain above φ (the paper's
+			// prose), or — the convergent rendering of Fig 16's
+			// permissive "< d_old + φ" guard — on a tie, toward the
+			// smaller root id, so equal-feature regions grown by racing
+			// same-level sentinels consolidate instead of fragmenting.
+			// See DESIGN.md.
+			dOld := n.sh.dist(n.rootFeat, n.sh.feature(n.id))
+			if dNew < dOld-n.sh.cfg.Phi || (dNew <= dOld && p.Root < n.root) {
+				join = true
+			}
+		}
+	}
+	if !join {
+		if n.explicit() {
+			ctx.Send(msg.From, KindNack, replyPayload{Epoch: p.Epoch})
+		}
+		return
+	}
+
+	if n.clustered {
+		n.switches++
+	}
+	n.clustered = true
+	n.root = p.Root
+	n.rootFeat = p.RootFeat
+	n.parent = msg.From
+	n.level = p.Level
+
+	var s *session
+	if n.explicit() {
+		ctx.Send(msg.From, KindAck1, replyPayload{Epoch: p.Epoch})
+		s = n.newSession(msg.From, p.Epoch, -1)
+	} else {
+		s = n.newSession(-1, 0, -1)
+	}
+	n.broadcastExpand(ctx, s, msg.From)
+	n.maybeComplete(ctx, s)
+}
+
+// maybeComplete fires a session's completion side effects once.
+func (n *node) maybeComplete(ctx sim.Context, s *session) {
+	if !n.explicit() || s.done || s.pending != 0 || s.children != 0 {
+		return
+	}
+	s.done = true
+	if s.parent >= 0 {
+		ctx.Send(s.parent, KindAck2, replyPayload{Epoch: s.parentEpoch})
+		return
+	}
+	if s.cellID >= 0 {
+		n.reportObligation(ctx, s.cellID)
+	}
+}
+
+// --- Explicit signalling: the quadtree synchronization wave (Fig 18) ---
+
+// runObligation handles a start signal for the given cell: cluster if
+// still unclustered, then report completion into the phase1 wave.
+func (n *node) runObligation(ctx sim.Context, cellID int) {
+	if n.obligated[cellID] {
+		return
+	}
+	n.obligated[cellID] = true
+	// startCluster reports the obligation immediately when the node is
+	// already clustered, or on root-session completion otherwise.
+	n.startCluster(ctx, n.sh.qt.Cells[cellID].Level, cellID)
+}
+
+// reportObligation announces that the given cell's sentinel has finished
+// its round.
+func (n *node) reportObligation(ctx sim.Context, cellID int) {
+	c := &n.sh.qt.Cells[cellID]
+	if c.Parent < 0 {
+		// Root cell: its round has no phase1/phase2; go straight to
+		// starting the next level.
+		n.startNextLevel(ctx, cellID, c.Level)
+		return
+	}
+	parent := &n.sh.qt.Cells[c.Parent]
+	payload := phasePayload{Round: c.Level, ToCell: c.Parent}
+	if parent.Leader == n.id {
+		n.onPhase1(ctx, payload)
+		return
+	}
+	ctx.Route(parent.Leader, KindPhase1, payload)
+}
+
+// onPhase1 aggregates completion reports at a cell and forwards them up
+// once every participating child subtree has reported.
+func (n *node) onPhase1(ctx sim.Context, p phasePayload) {
+	c := &n.sh.qt.Cells[p.ToCell]
+	n.phase1Seen[p.ToCell]++
+	expected := 0
+	for _, ch := range c.Children {
+		if n.sh.maxDepth[ch] >= p.Round {
+			expected++
+		}
+	}
+	if n.phase1Seen[p.ToCell] < expected {
+		return
+	}
+	n.phase1Seen[p.ToCell] = 0 // reset for the next round
+	if c.Parent < 0 {
+		// The root has heard from every sentinel in S_round: start the
+		// downward phase2 wave.
+		n.sendPhase2Down(ctx, p.ToCell, p.Round)
+		return
+	}
+	parent := &n.sh.qt.Cells[c.Parent]
+	payload := phasePayload{Round: p.Round, ToCell: c.Parent}
+	if parent.Leader == n.id {
+		n.onPhase1(ctx, payload)
+		return
+	}
+	ctx.Route(parent.Leader, KindPhase1, payload)
+}
+
+// onPhase2 forwards the go-ahead wave down to the round's cells, which
+// then start their children — the next sentinel level.
+func (n *node) onPhase2(ctx sim.Context, p phasePayload) {
+	c := &n.sh.qt.Cells[p.ToCell]
+	if c.Level == p.Round {
+		n.startNextLevel(ctx, p.ToCell, p.Round)
+		return
+	}
+	n.sendPhase2Down(ctx, p.ToCell, p.Round)
+}
+
+func (n *node) sendPhase2Down(ctx sim.Context, cellID, round int) {
+	c := &n.sh.qt.Cells[cellID]
+	for _, ch := range c.Children {
+		if n.sh.maxDepth[ch] < round {
+			continue
+		}
+		child := &n.sh.qt.Cells[ch]
+		payload := phasePayload{Round: round, ToCell: ch}
+		if child.Leader == n.id {
+			n.onPhase2(ctx, payload)
+			continue
+		}
+		ctx.Route(child.Leader, KindPhase2, payload)
+	}
+}
+
+// startNextLevel instructs the leaders of the cell's occupied children —
+// sentinels in S_{level+1} — to begin their round.
+func (n *node) startNextLevel(ctx sim.Context, cellID, level int) {
+	c := &n.sh.qt.Cells[cellID]
+	for _, ch := range c.Children {
+		child := &n.sh.qt.Cells[ch]
+		payload := startPayload{ToCell: ch}
+		if child.Leader == n.id {
+			n.runObligation(ctx, ch)
+			continue
+		}
+		ctx.Route(child.Leader, KindStart, payload)
+	}
+}
+
+// TxPerNode runs the same clustering as Run but returns the per-node
+// transmission counts instead of the clustering — the input to energy and
+// network-lifetime analyses (every hop is charged to its sender).
+func TxPerNode(g *topology.Graph, cfg Config) ([]int64, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults(g.N())
+	qt := topology.BuildQuadtree(g)
+	sh := newShared(g, qt, cfg)
+
+	net := sim.NewNetwork(g, cfg.Delay, cfg.Seed)
+	if cfg.Loss > 0 {
+		net.SetLoss(cfg.Loss)
+	}
+	nodes := make([]*node, g.N())
+	for u := range nodes {
+		nodes[u] = newNode(topology.NodeID(u), sh)
+		net.SetProtocol(topology.NodeID(u), nodes[u])
+	}
+	net.Run()
+	for u, nd := range nodes {
+		if !nd.clustered {
+			return nil, fmt.Errorf("elink: node %d finished unclustered", u)
+		}
+	}
+	return net.TxPerNode(), nil
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elink/internal/baseline"
+	"elink/internal/cluster"
+	"elink/internal/data"
+	"elink/internal/elink"
+	"elink/internal/metric"
+	"elink/internal/topology"
+)
+
+// Series names shared by the clustering-comparison figures.
+const (
+	SeriesELinkImplicit = "elink-implicit"
+	SeriesELinkExplicit = "elink-explicit"
+	SeriesCentralized   = "centralized"
+	SeriesHierarchical  = "hierarchical"
+	SeriesForest        = "spanning-forest"
+)
+
+// allClusterers runs the five §8 algorithms at one δ and returns their
+// results keyed by series name.
+func allClusterers(g *topology.Graph, feats []metric.Feature, m metric.Metric, delta float64, seed int64) (map[string]*cluster.Result, error) {
+	out := make(map[string]*cluster.Result, 5)
+	imp, err := elink.Run(g, elink.Config{Delta: delta, Metric: m, Features: feats, Mode: elink.Implicit, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("elink implicit: %w", err)
+	}
+	out[SeriesELinkImplicit] = imp
+	exp, err := elink.Run(g, elink.Config{Delta: delta, Metric: m, Features: feats, Mode: elink.Explicit, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("elink explicit: %w", err)
+	}
+	out[SeriesELinkExplicit] = exp
+	spec, err := baseline.Spectral(g, baseline.SpectralConfig{Delta: delta, Metric: m, Features: feats, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("spectral: %w", err)
+	}
+	out[SeriesCentralized] = spec
+	hier, err := baseline.Hierarchical(g, baseline.HierConfig{Delta: delta, Metric: m, Features: feats})
+	if err != nil {
+		return nil, fmt.Errorf("hierarchical: %w", err)
+	}
+	out[SeriesHierarchical] = hier
+	forest, err := baseline.SpanningForest(g, baseline.ForestConfig{Delta: delta, Metric: m, Features: feats, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("forest: %w", err)
+	}
+	out[SeriesForest] = forest
+	return out, nil
+}
+
+var qualityColumns = []string{
+	SeriesELinkImplicit, SeriesELinkExplicit, SeriesCentralized,
+	SeriesHierarchical, SeriesForest,
+}
+
+// Fig08 reproduces Fig. 8: clustering quality (number of clusters) on the
+// Tao dataset for varying δ, across all five algorithms.
+func Fig08(sc Scale) (*Table, error) {
+	ds, err := data.Tao(data.TaoConfig{Days: sc.TaoDays, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 8: clustering quality on Tao data (number of clusters vs delta)",
+		XLabel:  "delta",
+		Columns: qualityColumns,
+		Notes:   []string{sc.note()},
+	}
+	for _, delta := range ds.Deltas {
+		res, err := allClusterers(ds.Graph, ds.Features, ds.Metric, delta, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(delta, countsOf(res)...)
+	}
+	return t, nil
+}
+
+// Fig09 reproduces Fig. 9: clustering quality on the Death Valley
+// terrain, averaged over several random topologies.
+func Fig09(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Fig 9: clustering quality on Death Valley data (number of clusters vs delta)",
+		XLabel:  "delta",
+		Columns: qualityColumns,
+		Notes:   []string{sc.note()},
+	}
+	var deltas []float64
+	sums := make(map[float64][]float64)
+	for topo := 0; topo < sc.DVTopologies; topo++ {
+		ds, err := data.DeathValley(data.DeathValleyConfig{Nodes: sc.DVNodes, Seed: sc.Seed + int64(topo)})
+		if err != nil {
+			return nil, err
+		}
+		if deltas == nil {
+			deltas = ds.Deltas
+		}
+		for _, delta := range deltas {
+			res, err := allClusterers(ds.Graph, ds.Features, ds.Metric, delta, sc.Seed)
+			if err != nil {
+				return nil, err
+			}
+			counts := countsOf(res)
+			if sums[delta] == nil {
+				sums[delta] = make([]float64, len(counts))
+			}
+			for i, c := range counts {
+				sums[delta][i] += c
+			}
+		}
+	}
+	for _, delta := range deltas {
+		avg := sums[delta]
+		for i := range avg {
+			avg[i] /= float64(sc.DVTopologies)
+		}
+		t.AddRow(delta, avg...)
+	}
+	return t, nil
+}
+
+func countsOf(res map[string]*cluster.Result) []float64 {
+	out := make([]float64, len(qualityColumns))
+	for i, name := range qualityColumns {
+		out[i] = float64(res[name].Clustering.NumClusters())
+	}
+	return out
+}

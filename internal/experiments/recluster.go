@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elink/internal/cluster"
+	"elink/internal/elink"
+	"elink/internal/metric"
+	"elink/internal/topology"
+	"elink/internal/update"
+)
+
+// ReclusterPolicy quantifies §6's motivation: accumulated slack
+// violations fragment the clustering until a global re-clustering pays
+// for itself. Three policies absorb the same Tao stream:
+//
+//   - never: maintenance only (quality decays as fragmentation grows);
+//   - daily: a full ELink re-clustering every day (best quality, pays the
+//     clustering cost repeatedly);
+//   - adaptive: re-cluster only when fragmentation exceeds 1.5x the initial
+//     cluster count (the Maintainer.NeedsRecluster trigger).
+//
+// The table reports total messages and final cluster count per policy.
+func ReclusterPolicy(sc Scale) (*Table, error) {
+	st, err := newTaoStream(sc)
+	if err != nil {
+		return nil, err
+	}
+	delta := fig10Delta
+	slack := 0.1 * delta
+
+	t := &Table{
+		Title:   "Re-clustering policy under drift (Tao stream)",
+		XLabel:  "policy(0=never,1=adaptive,2=daily)",
+		Columns: []string{"total-messages", "final-clusters", "reclusterings"},
+		Notes:   []string{sc.note(), fmt.Sprintf("delta=%v slack=%v, adaptive threshold 1.5x", delta, slack)},
+	}
+	type policy struct {
+		id    float64
+		daily bool
+		adapt bool
+	}
+	for _, p := range []policy{{0, false, false}, {1, false, true}, {2, true, false}} {
+		msgs, clusters, reclusterings, err := st.replayWithPolicy(delta, slack, sc.Seed, p.daily, p.adapt)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(p.id, float64(msgs), float64(clusters), float64(reclusterings))
+	}
+	return t, nil
+}
+
+// replayWithPolicy streams the Tao days through maintenance, re-running
+// ELink per the policy and accumulating all costs.
+func (st *taoStream) replayWithPolicy(delta, slack float64, seed int64, daily, adaptive bool) (msgs int64, clusters, reclusterings int, err error) {
+	g, met := st.ds.Graph, st.ds.Metric
+	reclusterAt := func(feats []metric.Feature) (*cluster.Result, *update.Maintainer, error) {
+		res, err := elink.Run(g, elink.Config{
+			Delta: delta - 2*slack, Metric: met, Features: feats, Mode: elink.Implicit, Seed: seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		m, err := update.NewMaintainer(g, res.Clustering, feats, update.Config{
+			Delta: delta, Slack: slack, Metric: met,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, m, nil
+	}
+
+	res, m, err := reclusterAt(st.featAt[st.firstDay])
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	msgs = res.Stats.Messages
+	for d := st.firstDay + 1; d < st.firstDay+len(st.featAt); d++ {
+		for u := 0; u < g.N(); u++ {
+			m.Update(topology.NodeID(u), st.featAt[d][u])
+		}
+		if daily || (adaptive && m.NeedsRecluster(1.5)) {
+			msgs += m.Stats().Messages
+			res, m, err = reclusterAt(st.featAt[d])
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			msgs += res.Stats.Messages
+			reclusterings++
+		}
+	}
+	msgs += m.Stats().Messages
+	return msgs, m.NumClusters(), reclusterings, nil
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"math"
+
+	"elink/internal/ar"
+	"elink/internal/baseline"
+	"elink/internal/data"
+	"elink/internal/elink"
+	"elink/internal/metric"
+	"elink/internal/topology"
+	"elink/internal/update"
+)
+
+// fig13Delta is the δ used on the synthetic α̂ features.
+const fig13Delta = 0.1
+
+// Fig13 reproduces Fig. 13: total communication versus network size on
+// the synthetic dataset. Each algorithm clusters once on the fitted α̂
+// features and then absorbs the remainder of the reading stream through
+// its update path; the centralized scheme ships coefficients to the base
+// station whenever the local slack is violated.
+func Fig13(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  "Fig 13: scalability with network size on synthetic data (total messages)",
+		XLabel: "nodes",
+		Columns: []string{SeriesELinkImplicit, SeriesELinkExplicit, SeriesCentralized,
+			SeriesHierarchical, SeriesForest},
+		Notes: []string{sc.note(), "delta=0.1 on alpha-hat features; stream updates included"},
+	}
+	for _, n := range sc.SynSizes {
+		ds, err := data.Synthetic(data.SyntheticConfig{Nodes: n, Readings: sc.SynReadings, Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		row, err := fig13Row(ds, sc)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(float64(n), row...)
+	}
+	return t, nil
+}
+
+func fig13Row(ds *data.Dataset, sc Scale) ([]float64, error) {
+	g, m := ds.Graph, ds.Metric
+	slack := 0.1 * fig13Delta
+	// The stream replays the tail of each node's α̂ trajectory: refit
+	// progressively and update after each chunk of readings.
+	chunks := 20
+	traj := alphaTrajectories(ds, chunks)
+	initialFeats := make([]metric.Feature, g.N())
+	for u := range initialFeats {
+		initialFeats[u] = traj[0][u]
+	}
+
+	stream := func(mt *update.Maintainer) {
+		for c := 1; c < len(traj); c++ {
+			for u := 0; u < g.N(); u++ {
+				mt.Update(topology.NodeID(u), traj[c][u])
+			}
+		}
+	}
+
+	var out []float64
+	for _, mode := range []elink.Mode{elink.Implicit, elink.Explicit} {
+		res, err := elink.Run(g, elink.Config{
+			Delta: fig13Delta - 2*slack, Metric: m, Features: initialFeats, Mode: mode, Seed: sc.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		mt, err := update.NewMaintainer(g, res.Clustering, initialFeats, update.Config{
+			Delta: fig13Delta, Slack: slack, Metric: m,
+		})
+		if err != nil {
+			return nil, err
+		}
+		stream(mt)
+		out = append(out, float64(res.Stats.Messages+mt.Stats().Messages))
+	}
+
+	// Centralized: ship the model whenever the slack screen fails.
+	cu := update.NewCentralizedUpdater(g, 0, initialFeats, update.Config{
+		Delta: 1e18, Slack: slack, Metric: m,
+	}, 1)
+	for c := 1; c < len(traj); c++ {
+		for u := 0; u < g.N(); u++ {
+			cu.Update(topology.NodeID(u), traj[c][u])
+		}
+	}
+	// Plus the initial shipment of every model.
+	central := cu.Stats().Messages + baseline.NewCentralizedCost(g, 0).ShipModels(allNodes(g), 1).Messages
+	out = append(out, float64(central))
+
+	hier, err := baseline.Hierarchical(g, baseline.HierConfig{Delta: fig13Delta - 2*slack, Metric: m, Features: initialFeats})
+	if err != nil {
+		return nil, err
+	}
+	mt, err := update.NewMaintainer(g, hier.Clustering, initialFeats, update.Config{Delta: fig13Delta, Slack: slack, Metric: m})
+	if err != nil {
+		return nil, err
+	}
+	stream(mt)
+	out = append(out, float64(hier.Stats.Messages+mt.Stats().Messages))
+
+	forest, err := baseline.SpanningForest(g, baseline.ForestConfig{Delta: fig13Delta - 2*slack, Metric: m, Features: initialFeats, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	mt, err = update.NewMaintainer(g, forest.Clustering, initialFeats, update.Config{Delta: fig13Delta, Slack: slack, Metric: m})
+	if err != nil {
+		return nil, err
+	}
+	stream(mt)
+	out = append(out, float64(forest.Stats.Messages+mt.Stats().Messages))
+	return out, nil
+}
+
+// alphaTrajectories refits each node's AR(1) coefficient on growing
+// prefixes of its reading stream, yielding `chunks+1` feature snapshots.
+func alphaTrajectories(ds *data.Dataset, chunks int) [][]metric.Feature {
+	n := ds.Graph.N()
+	total := len(ds.Series[0])
+	chunkLen := total / (chunks + 1)
+	if chunkLen < 10 {
+		chunkLen = 10
+		chunks = total/chunkLen - 1
+		if chunks < 1 {
+			chunks = 1
+		}
+	}
+	out := make([][]metric.Feature, 0, chunks+1)
+	models := make([]*ar.Model, n)
+	means := make([]float64, n)
+	for u := 0; u < n; u++ {
+		var mean float64
+		for _, v := range ds.Series[u] {
+			mean += v
+		}
+		means[u] = mean / float64(total)
+		models[u] = ar.NewModel(1)
+		models[u].SetCoef([]float64{1})
+	}
+	pos := 0
+	for c := 0; c <= chunks; c++ {
+		end := (c + 1) * chunkLen
+		if end > total || c == chunks {
+			end = total
+		}
+		snap := make([]metric.Feature, n)
+		for u := 0; u < n; u++ {
+			for t := pos; t < end; t++ {
+				models[u].Observe(ds.Series[u][t] - means[u])
+			}
+			snap[u] = metric.Feature{models[u].Coef[0]}
+		}
+		pos = end
+		out = append(out, snap)
+	}
+	return out
+}
+
+func allNodes(g *topology.Graph) []topology.NodeID {
+	out := make([]topology.NodeID, g.N())
+	for i := range out {
+		out[i] = topology.NodeID(i)
+	}
+	return out
+}
+
+// Complexity verifies Theorems 2 and 3 empirically: simulated completion
+// time against the √N·log₄N bound and messages against N, for a grid
+// with a banded field.
+func Complexity(sc Scale) (*Table, error) {
+	t := &Table{
+		Title:  "Theorems 2-3: measured time and messages vs N",
+		XLabel: "nodes",
+		Columns: []string{
+			"time-implicit", "time-explicit", "bound-2*kappa*alpha",
+			"msgs-implicit-per-node", "msgs-explicit-per-node",
+		},
+		Notes: []string{sc.note(), "grid topology, 3-band scalar field, delta=2"},
+	}
+	for _, side := range []int{8, 12, 16, 24, 32} {
+		g := topology.NewGrid(side, side)
+		feats := bandedField(g, 3, 8)
+		n := float64(g.N())
+		imp, err := elink.Run(g, elink.Config{Delta: 2, Metric: metric.Scalar{}, Features: feats, Mode: elink.Implicit, Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		exp, err := elink.Run(g, elink.Config{Delta: 2, Metric: metric.Scalar{}, Features: feats, Mode: elink.Explicit, Seed: sc.Seed})
+		if err != nil {
+			return nil, err
+		}
+		kappa := 1.3 * math.Sqrt(n/2)
+		alpha := math.Log(3*n+1)/math.Log(4) - 1
+		t.AddRow(n,
+			imp.Stats.Time, exp.Stats.Time, 2*kappa*alpha,
+			float64(imp.Stats.Messages)/n, float64(exp.Stats.Messages)/n)
+	}
+	return t, nil
+}
+
+// bandedField assigns plateau features by x position.
+func bandedField(g *topology.Graph, bands int, jump float64) []metric.Feature {
+	min, max := g.BoundingBox()
+	span := max.X - min.X
+	if span == 0 {
+		span = 1
+	}
+	feats := make([]metric.Feature, g.N())
+	for u := range feats {
+		b := int((g.Pos[u].X - min.X) / span * float64(bands))
+		if b >= bands {
+			b = bands - 1
+		}
+		feats[u] = metric.Feature{float64(b) * jump}
+	}
+	return feats
+}

@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+
+	"elink/internal/baseline"
+	"elink/internal/cluster"
+	"elink/internal/data"
+	"elink/internal/elink"
+	"elink/internal/metric"
+	"elink/internal/topology"
+	"elink/internal/update"
+)
+
+// taoStream precomputes, for every day d >= firstFitDay, the feature each
+// node would hold after refitting its model on the data seen so far.
+type taoStream struct {
+	ds       *data.Dataset
+	firstDay int
+	// featAt[d][u] is node u's feature after day d (d indexes from
+	// firstDay to Days-1).
+	featAt map[int][]metric.Feature
+}
+
+// firstFitDay is the earliest day with enough samples for the Tao model.
+const firstFitDay = 5
+
+func newTaoStream(sc Scale) (*taoStream, error) {
+	ds, err := data.Tao(data.TaoConfig{Days: sc.TaoDays, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	if sc.TaoDays <= firstFitDay+1 {
+		return nil, fmt.Errorf("experiments: need more than %d Tao days, got %d", firstFitDay+1, sc.TaoDays)
+	}
+	st := &taoStream{ds: ds, firstDay: firstFitDay, featAt: make(map[int][]metric.Feature)}
+	const perDay = 144
+	for d := firstFitDay; d < sc.TaoDays; d++ {
+		feats := make([]metric.Feature, ds.Graph.N())
+		for u := range feats {
+			f, err := data.FitTaoModel(ds.Series[u][:(d+1)*perDay])
+			if err != nil {
+				return nil, err
+			}
+			feats[u] = f
+		}
+		st.featAt[d] = feats
+	}
+	return st, nil
+}
+
+// replayELink clusters at δ−2Δ on the first fit day, then streams the
+// remaining days through the maintenance protocol. It returns the initial
+// clustering cost, the per-day cumulative total cost, and the final
+// cluster count.
+func (st *taoStream) replayELink(mode elink.Mode, delta, slack float64, seed int64) (initial cluster.Stats, perDay []float64, clusters int, err error) {
+	feats := st.featAt[st.firstDay]
+	res, err := elink.Run(st.ds.Graph, elink.Config{
+		Delta: delta - 2*slack, Metric: st.ds.Metric, Features: feats, Mode: mode, Seed: seed,
+	})
+	if err != nil {
+		return cluster.Stats{}, nil, 0, err
+	}
+	m, err := update.NewMaintainer(st.ds.Graph, res.Clustering, feats, update.Config{
+		Delta: delta, Slack: slack, Metric: st.ds.Metric,
+	})
+	if err != nil {
+		return cluster.Stats{}, nil, 0, err
+	}
+	cum := res.Stats.Messages
+	for d := st.firstDay + 1; d < len(st.featAt)+st.firstDay; d++ {
+		for u := 0; u < st.ds.Graph.N(); u++ {
+			m.Update(topology.NodeID(u), st.featAt[d][u])
+		}
+		cum = res.Stats.Messages + m.Stats().Messages
+		perDay = append(perDay, float64(cum))
+	}
+	return res.Stats, perDay, m.NumClusters(), nil
+}
+
+// replayBaselineMaintained does the same for a baseline clustering
+// produced by the given function.
+func (st *taoStream) replayBaselineMaintained(
+	clusterFn func([]metric.Feature, float64) (*cluster.Result, error),
+	delta, slack float64,
+) (perDay []float64, clusters int, err error) {
+	feats := st.featAt[st.firstDay]
+	res, err := clusterFn(feats, delta-2*slack)
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := update.NewMaintainer(st.ds.Graph, res.Clustering, feats, update.Config{
+		Delta: delta, Slack: slack, Metric: st.ds.Metric,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for d := st.firstDay + 1; d < len(st.featAt)+st.firstDay; d++ {
+		for u := 0; u < st.ds.Graph.N(); u++ {
+			m.Update(topology.NodeID(u), st.featAt[d][u])
+		}
+		perDay = append(perDay, float64(res.Stats.Messages+m.Stats().Messages))
+	}
+	return perDay, m.NumClusters(), nil
+}
+
+// replayCentralized streams the same days through the model-shipping
+// baseline (base station at node 0, 4 coefficients per shipment).
+func (st *taoStream) replayCentralized(slack float64) (perDay []float64) {
+	feats := st.featAt[st.firstDay]
+	// The slack screen is the only screen the baseline has (it cannot
+	// evaluate A2/A3 without a root feature); Delta only matters to the
+	// config validator here.
+	c := update.NewCentralizedUpdater(st.ds.Graph, 0, feats, update.Config{
+		Delta: 1e18, Slack: slack, Metric: st.ds.Metric,
+	}, 4)
+	for d := st.firstDay + 1; d < len(st.featAt)+st.firstDay; d++ {
+		for u := 0; u < st.ds.Graph.N(); u++ {
+			c.Update(topology.NodeID(u), st.featAt[d][u])
+		}
+		perDay = append(perDay, float64(c.Stats().Messages))
+	}
+	return perDay
+}
+
+// fig10Delta is the representative δ for the update experiments (the
+// middle of the Tao sweep).
+const fig10Delta = 0.12
+
+// Fig10 reproduces Fig. 10: total update-handling cost as the slack Δ
+// grows, ELink's in-network protocol vs centralized model shipping.
+func Fig10(sc Scale) (*Table, error) {
+	st, err := newTaoStream(sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 10: update cost vs slack (Tao stream, total messages)",
+		XLabel:  "slack/delta",
+		Columns: []string{"elink-update", "centralized-update"},
+		Notes:   []string{sc.note(), fmt.Sprintf("delta=%v, base station at node 0", fig10Delta)},
+	}
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.3, 0.4} {
+		slack := frac * fig10Delta
+		_, perDay, _, err := st.replayELink(elink.Implicit, fig10Delta, slack, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		central := st.replayCentralized(slack)
+		t.AddRow(frac, last(perDay), last(central))
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Fig. 11: clustering quality (cluster count after the
+// stream) as the slack grows — the cost of the looser maintenance.
+func Fig11(sc Scale) (*Table, error) {
+	st, err := newTaoStream(sc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Fig 11: clustering quality vs slack (Tao stream, final cluster count)",
+		XLabel:  "slack/delta",
+		Columns: []string{SeriesELinkImplicit, SeriesHierarchical, SeriesForest},
+		Notes:   []string{sc.note(), fmt.Sprintf("delta=%v", fig10Delta)},
+	}
+	g, m := st.ds.Graph, st.ds.Metric
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.3, 0.4} {
+		slack := frac * fig10Delta
+		_, _, ec, err := st.replayELink(elink.Implicit, fig10Delta, slack, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		_, hc, err := st.replayBaselineMaintained(func(f []metric.Feature, d float64) (*cluster.Result, error) {
+			return baseline.Hierarchical(g, baseline.HierConfig{Delta: d, Metric: m, Features: f})
+		}, fig10Delta, slack)
+		if err != nil {
+			return nil, err
+		}
+		_, fc, err := st.replayBaselineMaintained(func(f []metric.Feature, d float64) (*cluster.Result, error) {
+			return baseline.SpanningForest(g, baseline.ForestConfig{Delta: d, Metric: m, Features: f, Seed: sc.Seed})
+		}, fig10Delta, slack)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(frac, float64(ec), float64(hc), float64(fc))
+	}
+	return t, nil
+}
+
+// Fig12 reproduces Fig. 12: cumulative communication over time on the Tao
+// stream (the paper plots it in log scale): raw shipping, model shipping,
+// and the maintained distributed clusterings.
+func Fig12(sc Scale) (*Table, error) {
+	st, err := newTaoStream(sc)
+	if err != nil {
+		return nil, err
+	}
+	slack := 0.1 * fig10Delta
+	g, m := st.ds.Graph, st.ds.Metric
+
+	_, impl, _, err := st.replayELink(elink.Implicit, fig10Delta, slack, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	_, expl, _, err := st.replayELink(elink.Explicit, fig10Delta, slack, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	hier, _, err := st.replayBaselineMaintained(func(f []metric.Feature, d float64) (*cluster.Result, error) {
+		return baseline.Hierarchical(g, baseline.HierConfig{Delta: d, Metric: m, Features: f})
+	}, fig10Delta, slack)
+	if err != nil {
+		return nil, err
+	}
+	forest, _, err := st.replayBaselineMaintained(func(f []metric.Feature, d float64) (*cluster.Result, error) {
+		return baseline.SpanningForest(g, baseline.ForestConfig{Delta: d, Metric: m, Features: f, Seed: sc.Seed})
+	}, fig10Delta, slack)
+	if err != nil {
+		return nil, err
+	}
+	model := st.replayCentralized(slack)
+
+	// Raw shipping: every 10-minute reading travels to the base station.
+	cost := baseline.NewCentralizedCost(g, 0)
+	var raw []float64
+	cum := int64(0)
+	for d := st.firstDay + 1; d < sc.TaoDays; d++ {
+		cum += cost.ShipAll(144).Messages
+		raw = append(raw, float64(cum))
+	}
+
+	t := &Table{
+		Title:  "Fig 12: cumulative messages over time on Tao data (log-scale plot in the paper)",
+		XLabel: "day",
+		Columns: []string{"centralized-raw", "centralized-model",
+			SeriesELinkImplicit, SeriesELinkExplicit, SeriesHierarchical, SeriesForest},
+		Notes: []string{sc.note(), fmt.Sprintf("delta=%v slack=%v", fig10Delta, slack)},
+	}
+	for i := range impl {
+		t.AddRow(float64(st.firstDay+1+i), raw[i], model[i], impl[i], expl[i], hier[i], forest[i])
+	}
+	return t, nil
+}
+
+func last(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v[len(v)-1]
+}

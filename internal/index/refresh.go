@@ -1,0 +1,50 @@
+package index
+
+import (
+	"fmt"
+
+	"elink/internal/metric"
+	"elink/internal/topology"
+)
+
+// Refresh updates node u's routing feature in place and repairs the
+// covering radii along u's root path, keeping every query-pruning
+// invariant exact without rebuilding the index. It returns the number of
+// messages charged: one per tree edge the repair wave travels (each
+// affected node reports its new (feature, radius) to its parent; the
+// wave stops early once an ancestor's radius is unchanged, because
+// ancestors above it see the same child summary as before).
+//
+// This is the index side of the §6 maintenance protocol: feature updates
+// that stay inside their cluster still move routing features, and stale
+// radii would make range/path pruning unsound.
+func (idx *Index) Refresh(u topology.NodeID, newFeat metric.Feature) (int64, error) {
+	if int(u) < 0 || int(u) >= len(idx.Features) {
+		return 0, fmt.Errorf("index: node %d out of range", u)
+	}
+	cl := idx.Clusters[idx.ClusterOf[u]]
+	idx.Features[u] = newFeat.Clone()
+
+	var msgs int64
+	cur := u
+	for {
+		e := cl.Entries[cur]
+		old := e.Radius
+		e.Radius = 0
+		for _, ch := range e.Children {
+			if r := idx.Metric.Distance(idx.Features[cur], idx.Features[ch]) + cl.Entries[ch].Radius; r > e.Radius {
+				e.Radius = r
+			}
+		}
+		if cur == cl.Root {
+			return msgs, nil
+		}
+		// The parent re-aggregates whenever this node's summary changed:
+		// its feature (only for u itself) or its radius.
+		if cur != u && e.Radius == old {
+			return msgs, nil
+		}
+		msgs++
+		cur = e.Parent
+	}
+}

@@ -1,0 +1,113 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix using
+// the cyclic Jacobi rotation method. It returns eigenvalues in descending
+// order and the matching eigenvectors as the columns of the returned
+// matrix. The input is not modified.
+//
+// Jacobi is O(n^3) per sweep and converges in a handful of sweeps for the
+// graph Laplacians used by the spectral-clustering baseline (n up to a few
+// thousand), which is the only consumer in this repository.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, nil, fmt.Errorf("linalg: EigenSym requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > 1e-9 {
+				return nil, nil, fmt.Errorf("linalg: EigenSym requires a symmetric matrix (a[%d][%d]=%v != a[%d][%d]=%v)",
+					i, j, a.At(i, j), j, i, a.At(j, i))
+			}
+		}
+	}
+
+	m := a.Clone()
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(m)
+		if off < 1e-11 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := m.At(p, q)
+				if math.Abs(apq) < 1e-14 {
+					continue
+				}
+				app, aqq := m.At(p, p), m.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				rotate(m, v, p, q, c, s)
+			}
+		}
+	}
+
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = m.At(i, i)
+	}
+	// Sort eigenvalues descending, permuting eigenvector columns to match.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for newCol, oldCol := range idx {
+		sortedVals[newCol] = values[oldCol]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, newCol, v.At(r, oldCol))
+		}
+	}
+	return sortedVals, sortedVecs, nil
+}
+
+// rotate applies the Jacobi rotation J(p,q,c,s) to m (two-sided) and
+// accumulates it into the eigenvector matrix v (one-sided).
+func rotate(m, v *Matrix, p, q int, c, s float64) {
+	n := m.Rows
+	for k := 0; k < n; k++ {
+		mkp, mkq := m.At(k, p), m.At(k, q)
+		m.Set(k, p, c*mkp-s*mkq)
+		m.Set(k, q, s*mkp+c*mkq)
+	}
+	for k := 0; k < n; k++ {
+		mpk, mqk := m.At(p, k), m.At(q, k)
+		m.Set(p, k, c*mpk-s*mqk)
+		m.Set(q, k, s*mpk+c*mqk)
+	}
+	for k := 0; k < n; k++ {
+		vkp, vkq := v.At(k, p), v.At(k, q)
+		v.Set(k, p, c*vkp-s*vkq)
+		v.Set(k, q, s*vkp+c*vkq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var sum float64
+	n := m.Rows
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := m.At(i, j)
+			sum += 2 * v * v
+		}
+	}
+	return math.Sqrt(sum)
+}

@@ -1,0 +1,299 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatal("At returned wrong elements")
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("Set did not stick")
+	}
+	tr := m.T()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Fatal("transpose wrong")
+	}
+	c := m.Clone()
+	c.Set(0, 0, -1)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestMatrixMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Errorf("Mul = %v, want %v", got.Data, want.Data)
+	}
+}
+
+func TestMatrixMulVec(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	got := a.MulVec([]float64{5, 6})
+	if got[0] != 17 || got[1] != 39 {
+		t.Errorf("MulVec = %v, want [17 39]", got)
+	}
+}
+
+func TestMatrixAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}})
+	b := FromRows([][]float64{{3, 5}})
+	if got := a.Add(b); got.At(0, 0) != 4 || got.At(0, 1) != 7 {
+		t.Error("Add wrong")
+	}
+	if got := b.Sub(a); got.At(0, 0) != 2 || got.At(0, 1) != 3 {
+		t.Error("Sub wrong")
+	}
+	if got := a.Scale(3); got.At(0, 1) != 6 {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := Solve(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	// Leading zero forces a row swap.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-7) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Errorf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Solve(a, []float64{1, 2}); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := FromRows([][]float64{{4, 1}, {1, 3}})
+	b := []float64{1, 2}
+	orig := a.Clone()
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxAbsDiff(orig) != 0 {
+		t.Error("Solve mutated the input matrix")
+	}
+	if b[0] != 1 || b[1] != 2 {
+		t.Error("Solve mutated the rhs")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	if prod.MaxAbsDiff(Identity(2)) > 1e-9 {
+		t.Errorf("a * a^-1 = %v, want identity", prod.Data)
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {1, 1}})
+	if _, err := Inverse(a); err != ErrSingular {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+}
+
+// Property: for random well-conditioned systems, Solve produces x with
+// A x == b to high precision.
+func TestSolveResidualProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Diagonal dominance keeps the system well conditioned.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		res := a.MulVec(x)
+		for i := range res {
+			if math.Abs(res[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-9 {
+		t.Errorf("first eigenvector = [%v %v], want e1", vecs.At(0, 0), vecs.At(1, 0))
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-3) > 1e-9 || math.Abs(vals[1]-1) > 1e-9 {
+		t.Errorf("eigenvalues = %v, want [3 1]", vals)
+	}
+	// Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+	r := vecs.At(0, 0) / vecs.At(1, 0)
+	if math.Abs(r-1) > 1e-8 {
+		t.Errorf("eigenvector ratio = %v, want 1", r)
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(a); err == nil {
+		t.Error("EigenSym accepted an asymmetric matrix")
+	}
+}
+
+// Property: A v = lambda v for every eigenpair of a random symmetric matrix,
+// and eigenvalues come out sorted descending.
+func TestEigenSymReconstructionProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(7)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, vecs, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < n; c++ {
+			if c > 0 && vals[c] > vals[c-1]+1e-9 {
+				return false
+			}
+			v := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v[i] = vecs.At(i, c)
+			}
+			av := a.MulVec(v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-vals[c]*v[i]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMeansSeparatesObviousClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := make([][]float64, 0, 40)
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 20; i++ {
+		rows = append(rows, []float64{10 + rng.NormFloat64()*0.1, 10 + rng.NormFloat64()*0.1})
+	}
+	assign := KMeans(FromRows(rows), 2, rng, 50)
+	first := assign[0]
+	for i := 1; i < 20; i++ {
+		if assign[i] != first {
+			t.Fatalf("point %d not in same cluster as point 0", i)
+		}
+	}
+	for i := 20; i < 40; i++ {
+		if assign[i] == first {
+			t.Fatalf("point %d should be in the other cluster", i)
+		}
+	}
+}
+
+func TestKMeansKGreaterOrEqualN(t *testing.T) {
+	pts := FromRows([][]float64{{0}, {1}, {2}})
+	assign := KMeans(pts, 5, rand.New(rand.NewSource(1)), 10)
+	seen := map[int]bool{}
+	for _, a := range assign {
+		if seen[a] {
+			t.Fatal("k >= n should give each point its own cluster")
+		}
+		seen[a] = true
+	}
+}
+
+func TestKMeansAssignmentInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := NewMatrix(30, 2)
+	for i := range pts.Data {
+		pts.Data[i] = rng.Float64()
+	}
+	k := 4
+	assign := KMeans(pts, k, rng, 25)
+	if len(assign) != 30 {
+		t.Fatalf("len(assign) = %d, want 30", len(assign))
+	}
+	for i, a := range assign {
+		if a < 0 || a >= k {
+			t.Fatalf("assign[%d] = %d out of range [0,%d)", i, a, k)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func denseToSparse(a *Matrix) *SparseSym {
+	s := NewSparseSym(a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		for j := i; j < a.Cols; j++ {
+			if v := a.At(i, j); v != 0 {
+				s.Set(i, j, v)
+			}
+		}
+	}
+	return s
+}
+
+func randomSymmetric(n int, rng *rand.Rand) *Matrix {
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	return a
+}
+
+func TestSparseMulVec(t *testing.T) {
+	s := NewSparseSym(3)
+	s.Set(0, 1, 2)
+	s.Set(1, 2, 3)
+	s.Set(2, 2, 5)
+	x := []float64{1, 1, 1}
+	y := make([]float64, 3)
+	s.MulVec(x, y)
+	want := []float64{2, 5, 8}
+	for i := range want {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Errorf("y[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	sums := s.RowSums()
+	for i := range want {
+		if sums[i] != want[i] {
+			t.Errorf("RowSums[%d] = %v, want %v", i, sums[i], want[i])
+		}
+	}
+}
+
+func TestSparseTopKMatchesJacobi(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randomSymmetric(30, rng)
+	vals, _, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := denseToSparse(a)
+	lv, _, err := sp.EigenTopK(5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if math.Abs(lv[i]-vals[i]) > 1e-6 {
+			t.Errorf("lanczos eigenvalue %d = %v, jacobi = %v", i, lv[i], vals[i])
+		}
+	}
+}
+
+func TestSparseTopKRitzVectorsAreEigenvectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSymmetric(25, rng)
+	sp := denseToSparse(a)
+	vals, vecs, err := sp.EigenTopK(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 4; c++ {
+		x := make([]float64, 25)
+		for r := range x {
+			x[r] = vecs.At(r, c)
+		}
+		y := make([]float64, 25)
+		sp.MulVec(x, y)
+		for r := range x {
+			if math.Abs(y[r]-vals[c]*x[r]) > 1e-5 {
+				t.Fatalf("Ritz pair %d: residual %v at row %d", c, y[r]-vals[c]*x[r], r)
+			}
+		}
+	}
+}
+
+func TestSparseTopKDegenerateSpectrum(t *testing.T) {
+	// Identity-like matrix: Krylov space collapses after one step; the
+	// solver should still return without error.
+	s := NewSparseSym(10)
+	for i := 0; i < 10; i++ {
+		s.Set(i, i, 2)
+	}
+	rng := rand.New(rand.NewSource(1))
+	vals, _, err := s.EigenTopK(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-2) > 1e-9 {
+		t.Errorf("eigenvalue = %v, want 2", vals[0])
+	}
+}
+
+func TestSparseTopKClampsK(t *testing.T) {
+	s := NewSparseSym(3)
+	s.Set(0, 0, 1)
+	s.Set(1, 1, 2)
+	s.Set(2, 2, 3)
+	rng := rand.New(rand.NewSource(2))
+	vals, vecs, err := s.EigenTopK(10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vecs.Cols != 3 {
+		t.Errorf("got %d eigenpairs, want clamped to 3", len(vals))
+	}
+}
+
+func TestSparseTopKRejectsBadK(t *testing.T) {
+	s := NewSparseSym(3)
+	if _, _, err := s.EigenTopK(0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestSparseTopKResolvesMultiplicity(t *testing.T) {
+	// Three disconnected cliques: the top eigenvalue has multiplicity 3.
+	// Single-vector Lanczos finds only one of the three eigenvectors;
+	// block subspace iteration must find all of them.
+	n := 90
+	s := NewSparseSym(n)
+	for c := 0; c < 3; c++ {
+		base := c * 30
+		for i := 0; i < 30; i++ {
+			for j := i; j < 30; j++ {
+				s.Set(base+i, base+j, 1)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	vals, vecs, err := s.EigenTopK(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(vals[i]-30) > 1e-6 {
+			t.Fatalf("eigenvalue %d = %v, want 30 (triple)", i, vals[i])
+		}
+	}
+	// Each component's indicator must be representable: for every clique,
+	// some eigenvector has essentially constant support on it.
+	for c := 0; c < 3; c++ {
+		base := c * 30
+		found := false
+		for col := 0; col < 3; col++ {
+			if math.Abs(vecs.At(base, col)) > 0.05 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no top eigenvector has support on component %d", c)
+		}
+	}
+}

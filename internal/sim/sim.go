@@ -1,0 +1,395 @@
+// Package sim is a deterministic discrete-event simulator for in-network
+// sensor protocols, plus a goroutine-based asynchronous runtime.
+//
+// A Protocol is the per-node state machine (message handler + timers). The
+// event-driven Network delivers single-hop messages between communication-
+// graph neighbours and routed multi-hop messages along shortest hop paths,
+// charging one message per radio hop, exactly the accounting the paper's
+// experiments use (§8.2). Per-kind message counters let each experiment
+// decompose its cost into expand/ack/phase traffic and so on.
+//
+// The paper's synchronous setting corresponds to the default unit hop
+// delay; the asynchronous setting is modelled either by a randomized hop
+// delay (still deterministic given the seed) or by the AsyncNetwork
+// runtime in async.go, which runs one goroutine per node with channels as
+// links.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"elink/internal/topology"
+)
+
+// Message is a protocol message as seen by the receiving node.
+type Message struct {
+	From, To topology.NodeID
+	Kind     string
+	Payload  any
+	Hops     int // radio hops the message travelled (1 for neighbour sends)
+}
+
+// Context is the interface a protocol uses to interact with the network
+// while handling an event.
+type Context interface {
+	// ID returns the node this handler runs on.
+	ID() topology.NodeID
+	// Now returns the current simulated time.
+	Now() float64
+	// Neighbors lists the node's communication-graph neighbours.
+	Neighbors() []topology.NodeID
+	// Send transmits a single-hop message. The destination must be a
+	// neighbour or the node itself (self-sends are free and immediate,
+	// used when one physical node plays several protocol roles).
+	Send(to topology.NodeID, kind string, payload any)
+	// Route transmits a message along the shortest hop path to an
+	// arbitrary node, charging one message per hop.
+	Route(to topology.NodeID, kind string, payload any)
+	// SetTimer schedules OnTimer(key) after delay time units.
+	SetTimer(delay float64, key string)
+	// Rand returns the network's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// Protocol is a per-node state machine.
+type Protocol interface {
+	// Init runs once when the network starts.
+	Init(ctx Context)
+	// OnMessage handles a delivered message.
+	OnMessage(ctx Context, msg Message)
+	// OnTimer handles a timer set with SetTimer.
+	OnTimer(ctx Context, key string)
+}
+
+// DelayModel produces the per-hop delivery delay.
+type DelayModel interface {
+	HopDelay(rng *rand.Rand, from, to topology.NodeID) float64
+}
+
+// UnitDelay is the synchronous model: every hop takes one time unit.
+type UnitDelay struct{}
+
+// HopDelay implements DelayModel.
+func (UnitDelay) HopDelay(*rand.Rand, topology.NodeID, topology.NodeID) float64 { return 1 }
+
+// UniformDelay models an asynchronous network: each hop takes a delay
+// drawn uniformly from [Min, Max].
+type UniformDelay struct {
+	Min, Max float64
+}
+
+// HopDelay implements DelayModel.
+func (d UniformDelay) HopDelay(rng *rand.Rand, _, _ topology.NodeID) float64 {
+	return d.Min + rng.Float64()*(d.Max-d.Min)
+}
+
+type eventKind uint8
+
+const (
+	evMessage eventKind = iota
+	evTimer
+)
+
+type event struct {
+	time float64
+	seq  int64 // tie-break for determinism
+	kind eventKind
+	node topology.NodeID
+	msg  Message
+	key  string
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() (event, bool) {
+	if len(h) == 0 {
+		return event{}, false
+	}
+	return h[0], true
+}
+
+// Network is the deterministic discrete-event executor.
+type Network struct {
+	Graph *topology.Graph
+
+	protocols []Protocol
+	delay     DelayModel
+	rng       *rand.Rand
+
+	pq  eventHeap
+	now float64
+	seq int64
+
+	counts    map[string]int64
+	perNode   []int64 // transmissions attributed to each sender
+	delivered int64
+	dropped   int64
+	loss      float64
+	trace     func(at float64, msg Message)
+
+	// MaxEvents guards against protocol bugs that never quiesce.
+	MaxEvents int64
+}
+
+// NewNetwork builds an executor over g. delay defaults to UnitDelay when
+// nil. The seed makes randomized delay models reproducible.
+func NewNetwork(g *topology.Graph, delay DelayModel, seed int64) *Network {
+	if delay == nil {
+		delay = UnitDelay{}
+	}
+	return &Network{
+		Graph:     g,
+		protocols: make([]Protocol, g.N()),
+		delay:     delay,
+		rng:       rand.New(rand.NewSource(seed)),
+		counts:    make(map[string]int64),
+		perNode:   make([]int64, g.N()),
+		MaxEvents: int64(g.N())*100000 + 1000000,
+	}
+}
+
+// SetProtocol installs the state machine for node u.
+func (n *Network) SetProtocol(u topology.NodeID, p Protocol) { n.protocols[u] = p }
+
+// SetAll installs a protocol per node from a factory.
+func (n *Network) SetAll(factory func(u topology.NodeID) Protocol) {
+	for u := range n.protocols {
+		n.protocols[u] = factory(topology.NodeID(u))
+	}
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() float64 { return n.now }
+
+// Messages returns the number of radio transmissions of the given kind.
+func (n *Network) Messages(kind string) int64 { return n.counts[kind] }
+
+// TotalMessages returns all radio transmissions across kinds.
+func (n *Network) TotalMessages() int64 {
+	var t int64
+	for _, c := range n.counts {
+		t += c
+	}
+	return t
+}
+
+// MessageBreakdown returns a copy of the per-kind transmission counters.
+func (n *Network) MessageBreakdown() map[string]int64 {
+	out := make(map[string]int64, len(n.counts))
+	for k, v := range n.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Kinds returns the message kinds observed so far, sorted.
+func (n *Network) Kinds() []string {
+	ks := make([]string, 0, len(n.counts))
+	for k := range n.counts {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// ResetCounters zeroes the message accounting without touching protocol
+// state or pending events; experiments use it to separate phases.
+func (n *Network) ResetCounters() {
+	n.counts = make(map[string]int64)
+	n.delivered = 0
+	n.dropped = 0
+}
+
+// SetLoss makes every radio hop fail independently with probability p
+// (fault injection; transmissions are still charged — the radio energy is
+// spent whether or not the frame arrives). Self-sends never fail.
+func (n *Network) SetLoss(p float64) {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("sim: loss probability %v out of [0,1)", p))
+	}
+	n.loss = p
+}
+
+// Dropped returns how many transmissions were lost to injected faults.
+func (n *Network) Dropped() int64 { return n.dropped }
+
+// TxPerNode returns, for every node, how many radio transmissions it has
+// performed (each hop is attributed to its sender). Energy models divide
+// a battery budget by these to estimate per-node lifetime: clustering's
+// §1 motivation is exactly that it spreads this load instead of
+// funnelling it through the base station's neighbours.
+func (n *Network) TxPerNode() []int64 {
+	out := make([]int64, len(n.perNode))
+	copy(out, n.perNode)
+	return out
+}
+
+// SetTrace installs a callback invoked on every message delivery (after
+// any loss filtering, before the handler runs). Useful for debugging
+// protocols and asserting on traffic in tests.
+func (n *Network) SetTrace(fn func(at float64, msg Message)) { n.trace = fn }
+
+// Run starts every protocol and processes events until the queue drains,
+// returning the final simulated time. It panics if MaxEvents is exceeded
+// (a protocol that never terminates is a bug worth failing loudly on).
+func (n *Network) Run() float64 {
+	n.Start()
+	return n.Drain()
+}
+
+// Start invokes Init on every installed protocol without processing
+// events, so callers can interleave injections with Drain.
+func (n *Network) Start() {
+	for u, p := range n.protocols {
+		if p != nil {
+			p.Init(&nodeCtx{net: n, id: topology.NodeID(u)})
+		}
+	}
+}
+
+// Drain processes queued events until none remain.
+func (n *Network) Drain() float64 {
+	var processed int64
+	for len(n.pq) > 0 {
+		e := heap.Pop(&n.pq).(event)
+		n.now = e.time
+		processed++
+		if processed > n.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded %d events; protocol likely does not terminate", n.MaxEvents))
+		}
+		p := n.protocols[e.node]
+		if p == nil {
+			continue
+		}
+		ctx := &nodeCtx{net: n, id: e.node}
+		switch e.kind {
+		case evMessage:
+			n.delivered++
+			if n.trace != nil {
+				n.trace(n.now, e.msg)
+			}
+			p.OnMessage(ctx, e.msg)
+		case evTimer:
+			p.OnTimer(ctx, e.key)
+		}
+	}
+	return n.now
+}
+
+// StepUntil processes events with time <= t, leaving later events queued.
+func (n *Network) StepUntil(t float64) {
+	for {
+		e, ok := n.pq.Peek()
+		if !ok || e.time > t {
+			return
+		}
+		heap.Pop(&n.pq)
+		n.now = e.time
+		p := n.protocols[e.node]
+		if p == nil {
+			continue
+		}
+		ctx := &nodeCtx{net: n, id: e.node}
+		switch e.kind {
+		case evMessage:
+			n.delivered++
+			if n.trace != nil {
+				n.trace(n.now, e.msg)
+			}
+			p.OnMessage(ctx, e.msg)
+		case evTimer:
+			p.OnTimer(ctx, e.key)
+		}
+	}
+}
+
+// Inject delivers a message to node u at the current time without
+// charging any radio cost; experiments use it to pose queries "at" a node.
+func (n *Network) Inject(u topology.NodeID, kind string, payload any) {
+	n.push(event{time: n.now, kind: evMessage, node: u,
+		msg: Message{From: u, To: u, Kind: kind, Payload: payload}})
+}
+
+func (n *Network) push(e event) {
+	e.seq = n.seq
+	n.seq++
+	heap.Push(&n.pq, e)
+}
+
+// nodeCtx implements Context for one handler invocation.
+type nodeCtx struct {
+	net *Network
+	id  topology.NodeID
+}
+
+func (c *nodeCtx) ID() topology.NodeID          { return c.id }
+func (c *nodeCtx) Now() float64                 { return c.net.now }
+func (c *nodeCtx) Neighbors() []topology.NodeID { return c.net.Graph.Neighbors(c.id) }
+func (c *nodeCtx) Rand() *rand.Rand             { return c.net.rng }
+
+func (c *nodeCtx) Send(to topology.NodeID, kind string, payload any) {
+	n := c.net
+	if to == c.id {
+		// A node talking to itself (e.g. it is both cluster root and
+		// quadtree leader) costs nothing.
+		n.push(event{time: n.now, kind: evMessage, node: to,
+			msg: Message{From: c.id, To: to, Kind: kind, Payload: payload}})
+		return
+	}
+	if !n.Graph.HasEdge(c.id, to) {
+		panic(fmt.Sprintf("sim: Send from %d to non-neighbour %d (use Route)", c.id, to))
+	}
+	n.counts[kind]++
+	n.perNode[c.id]++
+	if n.loss > 0 && n.rng.Float64() < n.loss {
+		n.dropped++
+		return
+	}
+	d := n.delay.HopDelay(n.rng, c.id, to)
+	n.push(event{time: n.now + d, kind: evMessage, node: to,
+		msg: Message{From: c.id, To: to, Kind: kind, Payload: payload, Hops: 1}})
+}
+
+func (c *nodeCtx) Route(to topology.NodeID, kind string, payload any) {
+	n := c.net
+	if to == c.id {
+		n.push(event{time: n.now, kind: evMessage, node: to,
+			msg: Message{From: c.id, To: to, Kind: kind, Payload: payload}})
+		return
+	}
+	path := n.Graph.ShortestPath(c.id, to)
+	if path == nil {
+		panic(fmt.Sprintf("sim: Route from %d to unreachable %d", c.id, to))
+	}
+	var delay float64
+	for i := 0; i+1 < len(path); i++ {
+		n.counts[kind]++
+		n.perNode[path[i]]++
+		if n.loss > 0 && n.rng.Float64() < n.loss {
+			// The frame dies mid-route: hops up to here were paid for.
+			n.dropped++
+			return
+		}
+		delay += n.delay.HopDelay(n.rng, path[i], path[i+1])
+	}
+	n.push(event{time: n.now + delay, kind: evMessage, node: to,
+		msg: Message{From: c.id, To: to, Kind: kind, Payload: payload, Hops: len(path) - 1}})
+}
+
+func (c *nodeCtx) SetTimer(delay float64, key string) {
+	n := c.net
+	n.push(event{time: n.now + delay, kind: evTimer, node: c.id, key: key})
+}

@@ -1,0 +1,201 @@
+package topology
+
+import (
+	"math"
+)
+
+// QTCell is one occupied cell of the quadtree decomposition. The node
+// closest to the cell centroid is elected leader (paper footnote 1);
+// sentinel set S_l is the set of level-l cell leaders.
+type QTCell struct {
+	ID       int
+	Level    int
+	Parent   int   // cell id of the enclosing cell, -1 for the root
+	Children []int // cell ids of occupied child cells
+	Center   Point
+	Leader   NodeID
+	Nodes    []NodeID // nodes whose position falls in this cell
+}
+
+// Quadtree is the recursive spatial decomposition driving ELink's sentinel
+// scheduling. Cells are subdivided until they hold at most one node, so
+// every node leads some cell and Σ_l |S_l| covers the whole network.
+type Quadtree struct {
+	Cells   []QTCell
+	ByLevel [][]int // cell ids per level
+	Depth   int     // deepest level with an occupied cell
+}
+
+// maxQuadtreeDepth bounds subdivision when several nodes share a position.
+const maxQuadtreeDepth = 32
+
+// BuildQuadtree decomposes g's bounding square. The box is padded to a
+// square so cells stay square at every level.
+func BuildQuadtree(g *Graph) *Quadtree {
+	min, max := g.BoundingBox()
+	side := math.Max(max.X-min.X, max.Y-min.Y)
+	if side == 0 {
+		side = 1
+	}
+	side *= 1.0000001 // keep max-coordinate nodes strictly inside
+	qt := &Quadtree{}
+	all := make([]NodeID, g.N())
+	for i := range all {
+		all[i] = NodeID(i)
+	}
+	qt.subdivide(g, all, min.X, min.Y, side, 0, -1)
+	for _, c := range qt.Cells {
+		if c.Level > qt.Depth {
+			qt.Depth = c.Level
+		}
+	}
+	qt.ByLevel = make([][]int, qt.Depth+1)
+	for _, c := range qt.Cells {
+		qt.ByLevel[c.Level] = append(qt.ByLevel[c.Level], c.ID)
+	}
+	return qt
+}
+
+func (qt *Quadtree) subdivide(g *Graph, nodes []NodeID, x0, y0, side float64, level, parent int) int {
+	center := Point{X: x0 + side/2, Y: y0 + side/2}
+	id := len(qt.Cells)
+	qt.Cells = append(qt.Cells, QTCell{
+		ID:     id,
+		Level:  level,
+		Parent: parent,
+		Center: center,
+		Leader: electLeader(g, nodes, center),
+		Nodes:  append([]NodeID(nil), nodes...),
+	})
+	if len(nodes) <= 1 || level >= maxQuadtreeDepth {
+		return id
+	}
+	half := side / 2
+	quads := [4][2]float64{
+		{x0, y0}, {x0 + half, y0}, {x0, y0 + half}, {x0 + half, y0 + half},
+	}
+	for _, q := range quads {
+		var sub []NodeID
+		for _, u := range nodes {
+			p := g.Pos[u]
+			if p.X >= q[0] && p.X < q[0]+half && p.Y >= q[1] && p.Y < q[1]+half {
+				sub = append(sub, u)
+			}
+		}
+		if len(sub) == 0 {
+			continue
+		}
+		child := qt.subdivide(g, sub, q[0], q[1], half, level+1, id)
+		qt.Cells[id].Children = append(qt.Cells[id].Children, child)
+	}
+	return id
+}
+
+// electLeader picks the node closest to the centroid, breaking ties by id.
+func electLeader(g *Graph, nodes []NodeID, center Point) NodeID {
+	best := NodeID(-1)
+	bestD := math.Inf(1)
+	for _, u := range nodes {
+		d := g.Pos[u].Dist(center)
+		if d < bestD || (d == bestD && u < best) {
+			best, bestD = u, d
+		}
+	}
+	return best
+}
+
+// Sentinels returns the sentinel set S_l: the leaders of the occupied
+// cells at the given level, deduplicated (a node leading several sibling
+// cells — impossible — or appearing again because it already led a
+// shallower cell is kept; ELink's clustered-guard makes repeats no-ops).
+func (qt *Quadtree) Sentinels(level int) []NodeID {
+	if level < 0 || level > qt.Depth {
+		return nil
+	}
+	ids := qt.ByLevel[level]
+	out := make([]NodeID, 0, len(ids))
+	seen := make(map[NodeID]bool, len(ids))
+	for _, cid := range ids {
+		l := qt.Cells[cid].Leader
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SentinelLevel returns, for every node, the shallowest quadtree level at
+// which it leads a cell. Subdivision down to singleton cells guarantees
+// every node leads at least one cell.
+func (qt *Quadtree) SentinelLevel() []int {
+	n := 0
+	for _, c := range qt.Cells {
+		for _, u := range c.Nodes {
+			if int(u) >= n {
+				n = int(u) + 1
+			}
+		}
+	}
+	levels := make([]int, n)
+	for i := range levels {
+		levels[i] = -1
+	}
+	for _, c := range qt.Cells {
+		if c.Leader >= 0 && (levels[c.Leader] < 0 || c.Level < levels[c.Leader]) {
+			levels[c.Leader] = c.Level
+		}
+	}
+	return levels
+}
+
+// CellOf returns the deepest cell at the given level containing node u,
+// or -1 when the node lies outside every level-l cell (cannot happen for
+// levels <= Depth on the cells that exist along u's path).
+func (qt *Quadtree) CellOf(u NodeID, level int) int {
+	cur := 0 // root
+	if qt.Cells[0].Level == level {
+		return 0
+	}
+	for {
+		found := -1
+		for _, ch := range qt.Cells[cur].Children {
+			for _, v := range qt.Cells[ch].Nodes {
+				if v == u {
+					found = ch
+					break
+				}
+			}
+			if found >= 0 {
+				break
+			}
+		}
+		if found < 0 {
+			return -1
+		}
+		if qt.Cells[found].Level == level {
+			return found
+		}
+		cur = found
+	}
+}
+
+// ImplicitSchedule computes the timer offsets of the implicit signalling
+// technique (paper §4): kappa = (1+gamma)·sqrt(N/2), the expansion budget
+// t_l = kappa·(1 + 1/2 + … + 1/2^l), and the start time of level l,
+// start_l = Σ_{j<l} t_j. It returns start times and budgets indexed by
+// level for levels 0..Depth.
+func (qt *Quadtree) ImplicitSchedule(n int, gamma float64) (starts, budgets []float64) {
+	kappa := (1 + gamma) * math.Sqrt(float64(n)/2)
+	budgets = make([]float64, qt.Depth+1)
+	starts = make([]float64, qt.Depth+1)
+	sum := 0.0
+	acc := 0.0
+	for l := 0; l <= qt.Depth; l++ {
+		sum += 1 / math.Pow(2, float64(l))
+		budgets[l] = kappa * sum
+		starts[l] = acc
+		acc += budgets[l]
+	}
+	return starts, budgets
+}

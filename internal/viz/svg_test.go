@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"elink/internal/cluster"
+	"elink/internal/topology"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	g := topology.NewGrid(2, 3)
+	c := cluster.FromRoots([]topology.NodeID{0, 0, 0, 3, 3, 3})
+	var b strings.Builder
+	err := WriteSVG(&b, g, c, Options{ShowEdges: true, ShowRoots: true, Title: "demo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a well-formed SVG envelope")
+	}
+	if got := strings.Count(out, "<circle"); got != 6+2 {
+		t.Errorf("circles = %d, want 6 nodes + 2 root rings", got)
+	}
+	// 7 grid edges drawn once each.
+	if got := strings.Count(out, "<line"); got != 7 {
+		t.Errorf("lines = %d, want the 7 grid edges", got)
+	}
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	// The two clusters use two distinct fills.
+	if !strings.Contains(out, palette[0]) || !strings.Contains(out, palette[1]) {
+		t.Error("cluster colours missing")
+	}
+}
+
+func TestWriteSVGNilClustering(t *testing.T) {
+	g := topology.NewGrid(1, 2)
+	var b strings.Builder
+	if err := WriteSVG(&b, g, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "#888888") {
+		t.Error("uncoloured nodes should use the neutral fill")
+	}
+}
+
+func TestWriteSVGHighlightAndPath(t *testing.T) {
+	g := topology.NewGrid(1, 4)
+	var b strings.Builder
+	err := WriteSVG(&b, g, nil, Options{
+		Highlight: []topology.NodeID{1, 2},
+		PathEdges: []topology.NodeID{0, 1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if got := strings.Count(out, `stroke-width="2.0"`); got != 2 {
+		t.Errorf("highlighted nodes = %d, want 2", got)
+	}
+	if got := strings.Count(out, `stroke-width="2.5"`); got != 1 {
+		t.Errorf("path groups = %d, want 1", got)
+	}
+	if got := strings.Count(out, "<line"); got != 3 {
+		t.Errorf("path segments = %d, want 3", got)
+	}
+}
+
+func TestWriteSVGDegenerateGeometry(t *testing.T) {
+	// All nodes at one point must not divide by zero.
+	g := topology.NewGraph([]topology.Point{{X: 1, Y: 1}, {X: 1, Y: 1}})
+	g.AddEdge(0, 1)
+	var b strings.Builder
+	if err := WriteSVG(&b, g, nil, Options{ShowEdges: true}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Error("degenerate geometry produced NaN coordinates")
+	}
+}

@@ -1,0 +1,5 @@
+package elink
+
+import "math/rand"
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

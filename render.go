@@ -1,0 +1,25 @@
+package elink
+
+import (
+	"strings"
+)
+
+// RenderGridClusters draws a grid network's clustering as an ASCII map,
+// one letter per cluster (wrapping after 26 and continuing with lower
+// case, then digits). It is meant for grids built with NewGrid, where
+// node ids are laid out row-major; other topologies render in id order,
+// cols wide.
+func RenderGridClusters(g *Graph, c *Clustering, cols int) string {
+	if cols <= 0 {
+		cols = 1
+	}
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	var b strings.Builder
+	for u := 0; u < g.N(); u++ {
+		if u > 0 && u%cols == 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteByte(alphabet[c.ClusterOf(NodeID(u))%len(alphabet)])
+	}
+	return b.String()
+}

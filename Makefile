@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check build vet test race bench examples clean
+
+## check: everything CI runs — build, vet, tests, then the race pass
+check: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the concurrent subsystems (streaming engine, async runtime)
+## under the race detector
+race:
+	$(GO) test -race ./internal/stream ./internal/sim ./cmd/elink-serve .
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+## examples: compile every example without running them
+examples:
+	$(GO) build -o /dev/null ./examples/...
+
+clean:
+	$(GO) clean ./...

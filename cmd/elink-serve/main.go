@@ -1,0 +1,238 @@
+// Command elink-serve runs the streaming engine as an HTTP/JSON daemon:
+// sensors (or a replayer) POST reading batches, the engine maintains the
+// clustering and M-tree index incrementally, and clients query ranges,
+// safe paths, statistics and the current clustering snapshot while
+// ingestion continues.
+//
+// Usage:
+//
+//	elink-serve -addr :8080 -rows 6 -cols 9 -order 4 -delta 0.12
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness + readiness ({"ok":true,"ready":...})
+//	POST /v1/ingest        {"readings":[{"node":0,"value":27.1},...]}
+//	                       or {"features":[{"node":0,"feature":[...]},...]}
+//	POST /v1/query/range   {"feature":[...],"radius":0.1,"initiator":0}
+//	POST /v1/query/path    {"danger":[...],"gamma":0.2,"src":0,"dst":53}
+//	GET  /v1/stats         cumulative engine counters
+//	GET  /v1/snapshot      current epoch's clustering
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"elink"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8080", "listen address")
+		rows   = flag.Int("rows", 6, "grid rows (ignored when -nodes > 0)")
+		cols   = flag.Int("cols", 9, "grid cols (ignored when -nodes > 0)")
+		nodes  = flag.Int("nodes", 0, "random-geometric node count (0 = use the grid)")
+		degree = flag.Float64("degree", 4, "average degree for the random network")
+		order  = flag.Int("order", 2, "AR model order (0 = feature-only ingest)")
+		delta  = flag.Float64("delta", 0.2, "clustering threshold δ")
+		slack  = flag.Float64("slack", 0, "maintenance slack Δ (0 = δ/10)")
+		policy = flag.String("policy", "adaptive", "re-cluster policy: never | adaptive | periodic")
+		frag   = flag.Float64("frag", 1.5, "fragmentation factor for -policy adaptive")
+		period = flag.Int("period", 20, "epoch period for -policy periodic")
+		warmup = flag.Int("warmup", 0, "observations per node before bootstrap (0 = 4*order)")
+		seed   = flag.Int64("seed", 1, "seed for topology and clustering runs")
+	)
+	flag.Parse()
+
+	var g *elink.Graph
+	if *nodes > 0 {
+		g = elink.NewRandomNetwork(*nodes, *degree, *seed)
+	} else {
+		g = elink.NewGrid(*rows, *cols)
+	}
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elink-serve:", err)
+		os.Exit(2)
+	}
+	s := *slack
+	if s == 0 {
+		s = *delta / 10
+	}
+	engine, err := elink.NewEngine(g, elink.EngineConfig{
+		Order:               *order,
+		Delta:               *delta,
+		Slack:               s,
+		Metric:              elink.Euclidean(),
+		Seed:                *seed,
+		Policy:              pol,
+		FragmentationFactor: *frag,
+		Period:              *period,
+		WarmupObs:           *warmup,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elink-serve:", err)
+		os.Exit(2)
+	}
+
+	srv := &server{engine: engine}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", srv.health)
+	mux.HandleFunc("POST /v1/ingest", srv.ingest)
+	mux.HandleFunc("POST /v1/query/range", srv.rangeQuery)
+	mux.HandleFunc("POST /v1/query/path", srv.pathQuery)
+	mux.HandleFunc("GET /v1/stats", srv.stats)
+	mux.HandleFunc("GET /v1/snapshot", srv.snapshot)
+
+	log.Printf("elink-serve: %d nodes, order %d, delta %g, slack %g, policy %s, listening on %s",
+		g.N(), *order, *delta, s, pol, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+func parsePolicy(s string) (elink.ReclusterPolicy, error) {
+	switch strings.ToLower(s) {
+	case "never":
+		return elink.PolicyNever, nil
+	case "adaptive":
+		return elink.PolicyAdaptive, nil
+	case "periodic":
+		return elink.PolicyPeriodic, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want never | adaptive | periodic)", s)
+}
+
+type server struct {
+	engine *elink.Engine
+}
+
+// ingestRequest carries either raw readings (engine fits AR models) or
+// pre-fitted features (nodes run their own models); exactly one must be
+// set.
+type ingestRequest struct {
+	Readings []elink.Reading       `json:"readings,omitempty"`
+	Features []elink.FeatureUpdate `json:"features,omitempty"`
+}
+
+type rangeRequest struct {
+	Feature   elink.Feature `json:"feature"`
+	Radius    float64       `json:"radius"`
+	Initiator elink.NodeID  `json:"initiator"`
+}
+
+type pathRequest struct {
+	Danger elink.Feature `json:"danger"`
+	Gamma  float64       `json:"gamma"`
+	Src    elink.NodeID  `json:"src"`
+	Dst    elink.NodeID  `json:"dst"`
+}
+
+func (s *server) health(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "ready": s.engine.Ready()})
+}
+
+func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	var req ingestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	switch {
+	case len(req.Readings) > 0 && len(req.Features) > 0:
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("a batch carries readings or features, not both"))
+	case len(req.Readings) > 0:
+		res, err := s.engine.Ingest(req.Readings)
+		writeResult(w, res, err)
+	case len(req.Features) > 0:
+		res, err := s.engine.IngestFeatures(req.Features)
+		writeResult(w, res, err)
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
+	}
+}
+
+func (s *server) rangeQuery(w http.ResponseWriter, r *http.Request) {
+	var req rangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.RangeQuery(req.Feature, req.Radius, req.Initiator)
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"matches":  res.Matches,
+		"messages": res.Stats.Messages,
+	})
+}
+
+func (s *server) pathQuery(w http.ResponseWriter, r *http.Request) {
+	var req pathRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.PathQuery(req.Danger, req.Gamma, req.Src, req.Dst)
+	if err != nil {
+		writeError(w, queryStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"found":    res.Found,
+		"path":     res.Path,
+		"messages": res.Stats.Messages,
+	})
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.engine.Stats())
+}
+
+func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	snap := s.engine.Snapshot()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, elink.ErrNotReady)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"epoch":      snap.Epoch,
+		"clusters":   snap.NumClusters(),
+		"clustering": snap.Clustering,
+	})
+}
+
+// queryStatus maps engine query errors to HTTP statuses: a warming-up
+// engine is 503 (retry later), anything else is a bad request.
+func queryStatus(err error) int {
+	if err == elink.ErrNotReady {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeResult(w http.ResponseWriter, res *elink.IngestResult, err error) {
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("elink-serve: encode response: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"elink"
+)
+
+func newTestServer(t *testing.T) (*server, *http.ServeMux) {
+	t.Helper()
+	g := elink.NewGrid(1, 6)
+	engine, err := elink.NewEngine(g, elink.EngineConfig{
+		Order: 0, Delta: 2, Slack: 0.1, Metric: elink.Euclidean(), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{engine: engine}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.health)
+	mux.HandleFunc("POST /v1/ingest", s.ingest)
+	mux.HandleFunc("POST /v1/query/range", s.rangeQuery)
+	mux.HandleFunc("POST /v1/query/path", s.pathQuery)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/snapshot", s.snapshot)
+	return s, mux
+}
+
+func do(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+func TestServeLifecycle(t *testing.T) {
+	_, mux := newTestServer(t)
+
+	// Not ready yet: queries and snapshot are 503, health reports it.
+	w := do(t, mux, "GET", "/healthz", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ready":false`) {
+		t.Fatalf("healthz = %d %s", w.Code, w.Body.String())
+	}
+	if w = do(t, mux, "POST", "/v1/query/range", `{"feature":[0],"radius":1}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("range before bootstrap = %d, want 503", w.Code)
+	}
+	if w = do(t, mux, "GET", "/v1/snapshot", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("snapshot before bootstrap = %d, want 503", w.Code)
+	}
+
+	// Bootstrap via a feature batch: two plateaus on the 6-node path.
+	batch := `{"features":[
+		{"node":0,"feature":[0]},{"node":1,"feature":[0.1]},{"node":2,"feature":[0.2]},
+		{"node":3,"feature":[9]},{"node":4,"feature":[9.1]},{"node":5,"feature":[9.2]}]}`
+	w = do(t, mux, "POST", "/v1/ingest", batch)
+	if w.Code != http.StatusOK {
+		t.Fatalf("ingest = %d %s", w.Code, w.Body.String())
+	}
+	var res elink.IngestResult
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ready || res.NumClusters != 2 {
+		t.Fatalf("ingest result %+v, want ready with 2 clusters", res)
+	}
+
+	// Range query finds the low plateau.
+	w = do(t, mux, "POST", "/v1/query/range", `{"feature":[0.1],"radius":0.5,"initiator":0}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("range = %d %s", w.Code, w.Body.String())
+	}
+	var rr struct {
+		Matches  []elink.NodeID `json:"matches"`
+		Messages int64          `json:"messages"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Matches) != 3 {
+		t.Errorf("range matched %v, want the 3 low-plateau nodes", rr.Matches)
+	}
+
+	// Path query avoiding the high plateau cannot cross the grid.
+	w = do(t, mux, "POST", "/v1/query/path", `{"danger":[9.1],"gamma":2,"src":0,"dst":5}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("path = %d %s", w.Code, w.Body.String())
+	}
+	var pr struct {
+		Found bool `json:"found"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Found {
+		t.Error("path to a node inside the danger region should not exist")
+	}
+
+	// Stats and snapshot reflect the traffic.
+	w = do(t, mux, "GET", "/v1/stats", "")
+	var st elink.EngineStats
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Epochs != 1 || st.RangeQueries != 1 || st.PathQueries != 1 {
+		t.Errorf("stats = %+v, want 1 epoch, 1 range, 1 path", st)
+	}
+	w = do(t, mux, "GET", "/v1/snapshot", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"epoch":1`) {
+		t.Errorf("snapshot = %d %s", w.Code, w.Body.String())
+	}
+
+	// Malformed ingest requests are rejected.
+	for _, bad := range []string{
+		`{`,
+		`{}`,
+		`{"readings":[{"node":0,"value":1}],"features":[{"node":0,"feature":[1]}]}`,
+		`{"readings":[{"node":0,"value":1}]}`, // Order-0 engine takes features only
+		`{"features":[{"node":99,"feature":[1]}]}`,
+	} {
+		if w = do(t, mux, "POST", "/v1/ingest", bad); w.Code != http.StatusBadRequest {
+			t.Errorf("ingest %q = %d, want 400", bad, w.Code)
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"elink/internal/metric"
 	"elink/internal/query"
 	"elink/internal/sim"
+	"elink/internal/stream"
 	"elink/internal/topology"
 	"elink/internal/update"
 	"elink/internal/viz"
@@ -280,3 +281,86 @@ func ClusterTxPerNode(g *Graph, cfg Config) ([]int64, error) {
 func OptimalCluster(g *Graph, feats []Feature, m Metric, delta float64) (*Clustering, error) {
 	return cluster.Optimal(g, feats, m, delta)
 }
+
+// Streaming engine types, aliased from internal/stream.
+type (
+	// Engine is the live streaming engine: it ingests reading batches,
+	// maintains the clustering and M-tree index incrementally, and serves
+	// range/path queries concurrently against immutable epoch snapshots.
+	Engine = stream.Engine
+	// EngineConfig parameterizes the streaming engine.
+	EngineConfig = stream.Config
+	// EngineStats exposes the engine's cumulative counters.
+	EngineStats = stream.Stats
+	// EngineSnapshot is the immutable per-epoch view queries run against.
+	EngineSnapshot = stream.Snapshot
+	// IngestResult summarizes what one ingested batch did to the engine.
+	IngestResult = stream.IngestResult
+	// Reading is one raw measurement at one node.
+	Reading = stream.Reading
+	// FeatureUpdate is one already-fitted feature vector at one node.
+	FeatureUpdate = stream.FeatureUpdate
+	// ReclusterPolicy selects when the engine re-runs full ELink.
+	ReclusterPolicy = stream.ReclusterPolicy
+)
+
+// Re-cluster policies for the streaming engine.
+const (
+	// PolicyNever maintains forever and never re-clusters.
+	PolicyNever = stream.PolicyNever
+	// PolicyAdaptive re-clusters when fragmentation exceeds the
+	// configured factor (the default policy).
+	PolicyAdaptive = stream.PolicyAdaptive
+	// PolicyPeriodic re-clusters every Period epochs.
+	PolicyPeriodic = stream.PolicyPeriodic
+)
+
+// ErrNotReady is returned by engine queries before the first clustering
+// has been bootstrapped (AR models still warming up).
+var ErrNotReady = stream.ErrNotReady
+
+// NewEngine builds a streaming engine over the network. Ingest batches
+// with Engine.Ingest (raw readings, Order >= 1) or Engine.IngestFeatures
+// (pre-fitted features, any Order); query with Engine.RangeQuery and
+// Engine.PathQuery; observe costs with Engine.Stats.
+func NewEngine(g *Graph, cfg EngineConfig) (*Engine, error) {
+	return stream.New(g, cfg)
+}
+
+// Dataset generator configurations, aliased so every knob — including
+// the Seed that drives all randomness — is settable from the public API.
+type (
+	// TaoGenConfig parameterizes the Tao-like sea-surface-temperature
+	// generator (grid shape, days, noise, Seed).
+	TaoGenConfig = data.TaoConfig
+	// DeathValleyGenConfig parameterizes the terrain elevation generator.
+	DeathValleyGenConfig = data.DeathValleyConfig
+	// SyntheticGenConfig parameterizes the uncorrelated AR(1) generator.
+	SyntheticGenConfig = data.SyntheticConfig
+)
+
+// GenerateTao generates the Tao-like dataset with explicit control of
+// every knob; TaoDataset is the common-case shorthand.
+func GenerateTao(cfg TaoGenConfig) (*Dataset, error) { return data.Tao(cfg) }
+
+// GenerateDeathValley generates the terrain dataset with explicit knobs;
+// DeathValleyDataset is the common-case shorthand.
+func GenerateDeathValley(cfg DeathValleyGenConfig) (*Dataset, error) {
+	return data.DeathValley(cfg)
+}
+
+// GenerateSynthetic generates the uncorrelated AR(1) dataset with
+// explicit knobs; SyntheticDataset is the common-case shorthand.
+func GenerateSynthetic(cfg SyntheticGenConfig) (*Dataset, error) {
+	return data.Synthetic(cfg)
+}
+
+// FitTaoFeature fits the Tao mixed-model feature vector (the 4
+// coefficients TaoMetric weighs) to a raw temperature series — the
+// per-day refit step when replaying Tao data through the streaming
+// engine.
+func FitTaoFeature(series []float64) (Feature, error) { return data.FitTaoModel(series) }
+
+// TaoMetric returns the weighted distance the paper pairs with Tao
+// features.
+func TaoMetric() Metric { return data.TaoMetric() }

@@ -358,3 +358,92 @@ func currentFeatures(vals []float64) []elink.Feature {
 	}
 	return out
 }
+
+func TestPublicStreamingEngine(t *testing.T) {
+	g := elink.NewGrid(4, 4)
+	e, err := elink.NewEngine(g, elink.EngineConfig{
+		Order:  1,
+		Delta:  0.4,
+		Slack:  0.04,
+		Metric: elink.Scalar(),
+		Policy: elink.PolicyAdaptive,
+		Seed:   11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RangeQuery(elink.Feature{0.5}, 0.1, 0); err != elink.ErrNotReady {
+		t.Fatalf("query before warmup: err = %v, want ErrNotReady", err)
+	}
+
+	// Two AR(1) regimes: left half x_t = 0.3 x_{t-1} + eps, right 0.7.
+	rng := rand.New(rand.NewSource(11))
+	prev := make([]float64, g.N())
+	for i := range prev {
+		prev[i] = 1
+	}
+	var res *elink.IngestResult
+	for step := 0; step < 30; step++ {
+		batch := make([]elink.Reading, g.N())
+		for u := 0; u < g.N(); u++ {
+			alpha := 0.3
+			if g.Pos[u].X >= 2 {
+				alpha = 0.7
+			}
+			prev[u] = alpha*prev[u] + rng.NormFloat64()*0.1
+			batch[u] = elink.Reading{Node: elink.NodeID(u), Value: prev[u]}
+		}
+		if res, err = e.Ingest(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !res.Ready || e.Snapshot() == nil {
+		t.Fatal("engine did not bootstrap after 30 observations per node")
+	}
+
+	s := e.Snapshot()
+	r, err := e.RangeQuery(s.Features[0], 0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Matches) == 0 {
+		t.Error("range query around node 0's own feature matched nothing")
+	}
+	if _, err := e.PathQuery(elink.Feature{99}, 0.5, 0, elink.NodeID(g.N()-1)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.RangeQueries != 1 || st.PathQueries != 1 || st.Epochs == 0 {
+		t.Errorf("stats = %+v, want recorded queries and epochs", st)
+	}
+	if err := s.Validate(g, elink.Scalar(), 2*0.4); err != nil {
+		t.Errorf("snapshot validation: %v", err)
+	}
+}
+
+func TestPublicGenerateConfigs(t *testing.T) {
+	ds, err := elink.GenerateTao(elink.TaoGenConfig{Days: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds2, err := elink.GenerateTao(elink.TaoGenConfig{Days: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Series) == 0 || len(ds.Series[0]) != len(ds2.Series[0]) {
+		t.Fatal("generator returned inconsistent series")
+	}
+	for u := range ds.Series {
+		for i := range ds.Series[u] {
+			if ds.Series[u][i] != ds2.Series[u][i] {
+				t.Fatalf("same seed produced different series at node %d step %d", u, i)
+			}
+		}
+	}
+	if _, err := elink.GenerateSynthetic(elink.SyntheticGenConfig{Nodes: 16, Readings: 10, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := elink.GenerateDeathValley(elink.DeathValleyGenConfig{Nodes: 25, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+}

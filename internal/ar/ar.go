@@ -181,6 +181,16 @@ func (m *Model) update(x []float64, y float64) {
 	}
 }
 
+// Snapshot returns a copy of the current coefficient vector. RLS updates
+// mutate Coef in place, so callers that hand coefficients to long-lived
+// consumers (clustering features, index routing entries) must take a
+// snapshot rather than alias the live slice.
+func (m *Model) Snapshot() []float64 {
+	out := make([]float64, len(m.Coef))
+	copy(out, m.Coef)
+	return out
+}
+
 // Predict returns the one-step-ahead forecast from the current lags. It
 // returns 0 until the lag window is full.
 func (m *Model) Predict() float64 {

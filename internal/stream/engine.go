@@ -1,0 +1,460 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"elink/internal/ar"
+	"elink/internal/cluster"
+	"elink/internal/elink"
+	"elink/internal/index"
+	"elink/internal/metric"
+	"elink/internal/query"
+	"elink/internal/topology"
+	"elink/internal/update"
+)
+
+// ErrNotReady is returned by queries and snapshot-dependent calls before
+// every node's AR model has warmed up and the bootstrap clustering ran.
+var ErrNotReady = errors.New("stream: engine has no clustering yet (models still warming up)")
+
+// Engine is the live streaming engine: single ingest writer, lock-free
+// concurrent query readers against an atomically published Snapshot.
+type Engine struct {
+	g   *topology.Graph
+	cfg Config
+
+	// mu serializes the ingest/maintenance path and guards every field
+	// below it. Queries never take it.
+	mu          sync.Mutex
+	models      []*ar.Model // nil when Order == 0 (feature-push deployments)
+	feats       []metric.Feature
+	warm        int    // nodes whose models have reached WarmupObs
+	featSet     []bool // nodes covered by IngestFeatures before bootstrap
+	featCovered int
+	ready       bool
+
+	maint *update.Maintainer
+	idx   *index.Index
+	// idxPublished marks idx as visible to readers via the current
+	// snapshot; the next in-place mutation must clone first.
+	idxPublished bool
+
+	epoch          int64
+	sinceRecluster int // epochs since the last full ELink run
+
+	readings int64
+	updates  int64
+	// Accumulators over finished maintainer generations (a recluster
+	// retires the current maintainer; its telemetry folds in here).
+	screening      update.Counters
+	maintMsgs      cluster.Stats
+	bootstrapStats cluster.Stats
+	reclusterStats cluster.Stats
+	rebuildStats   cluster.Stats
+	reclusters     int64
+	rebuilds       int64
+	refreshMsgs    int64
+
+	snap atomic.Pointer[Snapshot]
+
+	// qmu guards only the query-side telemetry, so recording a query
+	// never contends with ingest.
+	qmu          sync.Mutex
+	rangeQ       int64
+	pathQ        int64
+	queryMsgs    int64
+	queryTime    time.Duration
+	maxQueryTime time.Duration
+}
+
+// New builds an engine over g. With Order >= 1 the engine starts cold:
+// every node runs an untrained AR(Order) model fed by Ingest, and the
+// first clustering is bootstrapped once all models have seen WarmupObs
+// readings. With Order == 0 the engine skips local model fitting and
+// accepts coefficient pushes via IngestFeatures only (nodes that refit
+// their own models and ship drift directly).
+func New(g *topology.Graph, cfg Config) (*Engine, error) {
+	if g == nil || g.N() == 0 {
+		return nil, errors.New("stream: nil or empty graph")
+	}
+	if cfg.Order < 0 {
+		return nil, fmt.Errorf("stream: AR order must be >= 0, got %d", cfg.Order)
+	}
+	if cfg.Metric == nil {
+		return nil, errors.New("stream: Metric is required")
+	}
+	if cfg.Delta <= 0 {
+		return nil, fmt.Errorf("stream: Delta must be > 0, got %v", cfg.Delta)
+	}
+	if cfg.Slack < 0 || 2*cfg.Slack >= cfg.Delta {
+		return nil, fmt.Errorf("stream: slack %v must satisfy 0 <= 2Δ < δ=%v", cfg.Slack, cfg.Delta)
+	}
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		g:       g,
+		cfg:     cfg,
+		feats:   make([]metric.Feature, g.N()),
+		featSet: make([]bool, g.N()),
+	}
+	if cfg.Order >= 1 {
+		e.models = make([]*ar.Model, g.N())
+		for u := range e.models {
+			e.models[u] = ar.NewModel(cfg.Order)
+		}
+	}
+	return e, nil
+}
+
+// Graph returns the engine's communication graph.
+func (e *Engine) Graph() *topology.Graph { return e.g }
+
+// Config returns the engine's configuration (defaults resolved).
+func (e *Engine) Config() Config { return e.cfg }
+
+// Ready reports whether the bootstrap clustering has run.
+func (e *Engine) Ready() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ready
+}
+
+// Snapshot returns the current immutable epoch view, or nil before
+// bootstrap. The returned structure is frozen; it stays valid and
+// consistent while ingest continues.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Ingest consumes one batch of readings as a single epoch: models refit
+// by RLS, drifted features stream through the slack-Δ protocol, the
+// index is repaired or rebuilt, the re-cluster policy is applied, and a
+// fresh snapshot is published. Ingest calls are serialized; concurrent
+// queries keep running against the previous snapshot throughout.
+func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.models == nil {
+		return nil, errors.New("stream: engine configured with Order=0 ingests features only (use IngestFeatures)")
+	}
+
+	res := &IngestResult{}
+	touched := make(map[topology.NodeID]bool)
+	for _, r := range batch {
+		if int(r.Node) < 0 || int(r.Node) >= e.g.N() {
+			return nil, fmt.Errorf("stream: reading for node %d outside [0,%d)", r.Node, e.g.N())
+		}
+		m := e.models[r.Node]
+		before := m.Seen()
+		if m.Observe(r.Value) {
+			touched[r.Node] = true
+		}
+		if before < e.cfg.WarmupObs && m.Seen() >= e.cfg.WarmupObs {
+			e.warm++
+		}
+		e.readings++
+		res.Readings++
+	}
+
+	if !e.ready {
+		if e.warm < e.g.N() {
+			return res, nil // still warming up
+		}
+		for u := range e.models {
+			e.feats[u] = metric.Feature(e.models[u].Snapshot())
+		}
+		return res, e.finishBootstrap(res)
+	}
+
+	nodes := sortedNodes(touched)
+	for _, u := range nodes {
+		e.feats[u] = metric.Feature(e.models[u].Snapshot())
+	}
+	return res, e.applyEpoch(nodes, res)
+}
+
+// IngestFeatures consumes one batch of already-fitted coefficient
+// updates as a single epoch, for deployments where nodes refit their own
+// models and ship drift directly. Before bootstrap the updates accumulate
+// until every node has a feature; afterwards each batch flows through the
+// same maintenance/index/policy path as Ingest.
+func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	res := &IngestResult{}
+	touched := make(map[topology.NodeID]bool)
+	for _, up := range batch {
+		if int(up.Node) < 0 || int(up.Node) >= e.g.N() {
+			return nil, fmt.Errorf("stream: feature update for node %d outside [0,%d)", up.Node, e.g.N())
+		}
+		if len(up.Feature) == 0 {
+			return nil, fmt.Errorf("stream: empty feature for node %d", up.Node)
+		}
+		e.feats[up.Node] = up.Feature.Clone()
+		if !e.featSet[up.Node] {
+			e.featSet[up.Node] = true
+			e.featCovered++
+		}
+		touched[up.Node] = true
+		res.Readings++
+	}
+
+	if !e.ready {
+		if e.featCovered < e.g.N() {
+			return res, nil // waiting for full feature coverage
+		}
+		return res, e.finishBootstrap(res)
+	}
+	return res, e.applyEpoch(sortedNodes(touched), res)
+}
+
+func sortedNodes(set map[topology.NodeID]bool) []topology.NodeID {
+	nodes := make([]topology.NodeID, 0, len(set))
+	for u := range set {
+		nodes = append(nodes, u)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// applyEpoch streams the touched nodes' current features through the
+// maintenance protocol, keeps the index consistent, applies the
+// re-cluster policy and publishes the epoch's snapshot.
+func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
+	before := e.maint.CountersSnapshot()
+	for _, u := range nodes {
+		e.maint.Update(u, e.feats[u])
+		e.updates++
+		res.Updates++
+	}
+	after := e.maint.CountersSnapshot()
+	res.Detaches = after.Detaches - before.Detaches
+
+	e.sinceRecluster++
+	switch {
+	case e.cfg.Policy == PolicyPeriodic && e.sinceRecluster >= e.cfg.Period,
+		e.cfg.Policy == PolicyAdaptive && e.maint.NeedsRecluster(e.cfg.FragmentationFactor):
+		if err := e.recluster(); err != nil {
+			return err
+		}
+		res.Reclustered = true
+	case res.Detaches > 0:
+		// Membership changed: the M-tree topology is stale, rebuild it
+		// over the maintained clustering.
+		if err := e.rebuildIndex(); err != nil {
+			return err
+		}
+	case len(nodes) > 0:
+		// Membership stable: repair routing features and covering radii
+		// in place, one bounded wave per drifted node.
+		e.cloneIndexIfPublished()
+		for _, u := range nodes {
+			msgs, err := e.idx.Refresh(u, e.feats[u])
+			if err != nil {
+				return err
+			}
+			e.refreshMsgs += msgs
+		}
+	}
+
+	e.publish()
+	res.Ready = true
+	res.Epoch = e.epoch
+	res.NumClusters = e.maint.NumClusters()
+	return nil
+}
+
+// finishBootstrap runs the first full clustering over e.feats and fills
+// the batch result.
+func (e *Engine) finishBootstrap(res *IngestResult) error {
+	r, idx, m, err := e.fullCluster()
+	if err != nil {
+		return err
+	}
+	e.bootstrapStats.Add(r.Stats)
+	e.bootstrapStats.Add(idx.BuildStats)
+	e.maint, e.idx = m, idx
+	e.ready = true
+	e.sinceRecluster = 0
+	e.publish()
+	res.Ready = true
+	res.Epoch = e.epoch
+	res.NumClusters = e.maint.NumClusters()
+	return nil
+}
+
+// recluster retires the current maintainer and re-runs ELink on the
+// current features (the §6 fallback the policy knob gates).
+func (e *Engine) recluster() error {
+	e.screening = addCounters(e.screening, e.maint.CountersSnapshot())
+	e.maintMsgs.Add(e.maint.Stats())
+	res, idx, m, err := e.fullCluster()
+	if err != nil {
+		return err
+	}
+	e.reclusterStats.Add(res.Stats)
+	e.reclusterStats.Add(idx.BuildStats)
+	e.reclusters++
+	e.maint, e.idx, e.idxPublished = m, idx, false
+	e.sinceRecluster = 0
+	return nil
+}
+
+// fullCluster runs ELink at δ − 2Δ on the current features and wraps the
+// result with a fresh maintainer and index.
+func (e *Engine) fullCluster() (*cluster.Result, *index.Index, *update.Maintainer, error) {
+	feats := make([]metric.Feature, len(e.feats))
+	for u := range feats {
+		feats[u] = e.feats[u].Clone()
+	}
+	res, err := elink.Run(e.g, elink.Config{
+		Delta:    e.cfg.Delta - 2*e.cfg.Slack,
+		Metric:   e.cfg.Metric,
+		Features: feats,
+		Mode:     e.cfg.Mode,
+		Seed:     e.cfg.Seed,
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("stream: clustering run: %w", err)
+	}
+	m, err := update.NewMaintainer(e.g, res.Clustering, feats, update.Config{
+		Delta: e.cfg.Delta, Slack: e.cfg.Slack, Metric: e.cfg.Metric,
+	})
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("stream: maintainer: %w", err)
+	}
+	idx, err := index.Build(e.g, res.Clustering, feats, e.cfg.Metric)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("stream: index build: %w", err)
+	}
+	return res, idx, m, nil
+}
+
+// rebuildIndex rebuilds the M-tree over the maintained membership.
+func (e *Engine) rebuildIndex() error {
+	idx, err := index.Build(e.g, e.maint.Clustering(), e.feats, e.cfg.Metric)
+	if err != nil {
+		return fmt.Errorf("stream: index rebuild: %w", err)
+	}
+	e.rebuildStats.Add(idx.BuildStats)
+	e.rebuilds++
+	e.idx, e.idxPublished = idx, false
+	return nil
+}
+
+// cloneIndexIfPublished implements the copy-on-write epoch swap: the
+// published index stays frozen for readers while the writer mutates a
+// private clone.
+func (e *Engine) cloneIndexIfPublished() {
+	if e.idxPublished {
+		e.idx = e.idx.Clone()
+		e.idxPublished = false
+	}
+}
+
+// publish freezes the writer's state into a new snapshot and swaps it in
+// for readers.
+func (e *Engine) publish() {
+	e.epoch++
+	e.idxPublished = true
+	e.snap.Store(&Snapshot{
+		Epoch:      e.epoch,
+		Clustering: e.maint.Clustering(),
+		Index:      e.idx,
+		Features:   e.idx.Features,
+	})
+}
+
+// RangeQuery answers a §7.2 range query against the current snapshot.
+// Safe for arbitrary concurrency with Ingest and other queries.
+func (e *Engine) RangeQuery(q metric.Feature, r float64, initiator topology.NodeID) (*query.RangeResult, error) {
+	s := e.snap.Load()
+	if s == nil {
+		return nil, ErrNotReady
+	}
+	if int(initiator) < 0 || int(initiator) >= e.g.N() {
+		return nil, fmt.Errorf("stream: initiator %d outside [0,%d)", initiator, e.g.N())
+	}
+	start := time.Now()
+	res := query.Range(s.Index, q, r, initiator)
+	e.recordQuery(&e.rangeQ, time.Since(start), res.Stats.Messages)
+	return res, nil
+}
+
+// PathQuery answers a §7.3 path query against the current snapshot.
+// Safe for arbitrary concurrency with Ingest and other queries.
+func (e *Engine) PathQuery(danger metric.Feature, gamma float64, src, dst topology.NodeID) (*query.PathResult, error) {
+	s := e.snap.Load()
+	if s == nil {
+		return nil, ErrNotReady
+	}
+	if int(src) < 0 || int(src) >= e.g.N() || int(dst) < 0 || int(dst) >= e.g.N() {
+		return nil, fmt.Errorf("stream: endpoints (%d,%d) outside [0,%d)", src, dst, e.g.N())
+	}
+	start := time.Now()
+	res := query.Path(s.Index, danger, gamma, src, dst)
+	e.recordQuery(&e.pathQ, time.Since(start), res.Stats.Messages)
+	return res, nil
+}
+
+func (e *Engine) recordQuery(counter *int64, d time.Duration, msgs int64) {
+	e.qmu.Lock()
+	*counter++
+	e.queryMsgs += msgs
+	e.queryTime += d
+	if d > e.maxQueryTime {
+		e.maxQueryTime = d
+	}
+	e.qmu.Unlock()
+}
+
+// Stats returns the engine's cumulative counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	s := Stats{
+		Epochs:        e.epoch,
+		Readings:      e.readings,
+		Updates:       e.updates,
+		Screening:     e.screening,
+		BootstrapMsgs: e.bootstrapStats.Messages,
+		ReclusterMsgs: e.reclusterStats.Messages,
+		Reclusters:    e.reclusters,
+		IndexRebuilds: e.rebuilds,
+		Breakdown:     make(map[string]int64),
+	}
+	merge := func(cs cluster.Stats) {
+		for k, v := range cs.Breakdown {
+			s.Breakdown[k] += v
+		}
+	}
+	merge(e.maintMsgs)
+	merge(e.bootstrapStats)
+	merge(e.reclusterStats)
+	merge(e.rebuildStats)
+	s.MaintenanceMsgs = e.maintMsgs.Messages
+	s.IndexRebuildMsgs = e.rebuildStats.Messages
+	s.IndexRepairMsgs = e.refreshMsgs
+	if e.refreshMsgs > 0 {
+		s.Breakdown["refresh"] = e.refreshMsgs
+	}
+	if e.maint != nil {
+		cur := e.maint.Stats()
+		merge(cur)
+		s.MaintenanceMsgs += cur.Messages
+		s.Screening = addCounters(s.Screening, e.maint.CountersSnapshot())
+		s.NumClusters = e.maint.NumClusters()
+	}
+	e.mu.Unlock()
+
+	e.qmu.Lock()
+	s.RangeQueries = e.rangeQ
+	s.PathQueries = e.pathQ
+	s.QueryMsgs = e.queryMsgs
+	s.QueryTime = e.queryTime
+	s.MaxQueryTime = e.maxQueryTime
+	e.qmu.Unlock()
+	return s
+}

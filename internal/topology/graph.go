@@ -9,6 +9,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // NodeID identifies a sensor node. IDs are dense in [0, N).
@@ -26,11 +27,15 @@ func (p Point) Dist(q Point) float64 {
 }
 
 // Graph is an undirected communication graph over positioned nodes.
+// Topology is fixed after construction; the lazy routing cache is
+// mutex-protected, so a built Graph is safe for concurrent readers
+// (the streaming engine serves queries while ingest computes routes).
 type Graph struct {
 	Pos []Point
 	Adj [][]NodeID // sorted neighbour lists
 
-	hops map[NodeID][]int // lazy per-source BFS hop distances
+	hopsMu sync.Mutex
+	hops   map[NodeID][]int // lazy per-source BFS hop distances
 }
 
 // NewGraph returns an edgeless graph over the given positions.
@@ -49,7 +54,9 @@ func (g *Graph) AddEdge(u, v NodeID) {
 	}
 	g.addDirected(u, v)
 	g.addDirected(v, u)
+	g.hopsMu.Lock()
 	g.hops = nil
+	g.hopsMu.Unlock()
 }
 
 func (g *Graph) addDirected(u, v NodeID) {
@@ -105,6 +112,8 @@ func (g *Graph) AvgDegree() float64 {
 // HopDistances returns BFS hop counts from src to every node
 // (-1 when unreachable). Results are cached per source.
 func (g *Graph) HopDistances(src NodeID) []int {
+	g.hopsMu.Lock()
+	defer g.hopsMu.Unlock()
 	if g.hops == nil {
 		g.hops = make(map[NodeID][]int)
 	}

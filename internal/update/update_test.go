@@ -287,3 +287,88 @@ func TestFragmentationAndRecluster(t *testing.T) {
 		t.Error("1.5x should trip a 1.2x threshold")
 	}
 }
+
+// maintFeatures collects the maintainer's current view of every feature,
+// for running the shared clustering validators against it.
+func maintFeatures(m *Maintainer, n int) []metric.Feature {
+	feats := make([]metric.Feature, n)
+	for u := 0; u < n; u++ {
+		feats[u] = m.Feature(topology.NodeID(u))
+	}
+	return feats
+}
+
+// mustStayValid asserts the maintained clustering still satisfies the
+// validators: a partition of connected clusters, pairwise compact within
+// 2δ (maintenance only bounds member-to-root distance by ~δ).
+func mustStayValid(t *testing.T, g *topology.Graph, m *Maintainer, delta float64) {
+	t.Helper()
+	if err := m.Clustering().Validate(g, maintFeatures(m, g.N()), metric.Scalar{}, 2*delta, 1e-9); err != nil {
+		t.Fatalf("maintained clustering invalid: %v", err)
+	}
+}
+
+// TestSimultaneousAdjacentDriftStaysValid drives drift on the two
+// boundary nodes of adjacent clusters in the same epoch — the cluster
+// seam is where stale root features are most likely to admit a bad
+// member — and checks connectivity and 2δ-compactness afterwards.
+func TestSimultaneousAdjacentDriftStaysValid(t *testing.T) {
+	g, m := twoClusterSetup(t, Config{Delta: 2, Slack: 0.1, Metric: metric.Scalar{}})
+	m.Update(2, metric.Feature{9.9}) // detaches, adopted by cluster {3,4,5}
+	m.Update(3, metric.Feature{10.4})
+	if m.NumClusters() != 2 {
+		t.Errorf("NumClusters = %d, want 2", m.NumClusters())
+	}
+	cl := m.Clustering()
+	if cl.ClusterOf(2) != cl.ClusterOf(3) {
+		t.Error("node 2 was not adopted across the seam")
+	}
+	mustStayValid(t, g, m, 2)
+}
+
+// TestDetachThenMergeSameEpochStaysValid detaches a node into a fresh
+// singleton and, within the same epoch, has its neighbour drift after it
+// and merge into that brand-new cluster via probe adoption. The partition
+// must stay connected and 2δ-compact through both transitions.
+func TestDetachThenMergeSameEpochStaysValid(t *testing.T) {
+	g, m := twoClusterSetup(t, Config{Delta: 2, Slack: 0.1, Metric: metric.Scalar{}})
+	m.Update(2, metric.Feature{5}) // no cluster admits 5 => singleton {2}
+	if c := m.CountersSnapshot(); c.Singletons != 1 {
+		t.Fatalf("counters = %+v, want one singleton", c)
+	}
+	mustStayValid(t, g, m, 2)
+	m.Update(1, metric.Feature{5.05}) // follows node 2, adopted by its new cluster
+	c := m.CountersSnapshot()
+	if c.Detaches != 2 || c.Rejoins != 1 {
+		t.Errorf("counters = %+v, want two detaches and one rejoin", c)
+	}
+	cl := m.Clustering()
+	if cl.ClusterOf(1) != cl.ClusterOf(2) {
+		t.Error("node 1 did not merge into the fresh singleton's cluster")
+	}
+	if cl.ClusterOf(1) == cl.ClusterOf(0) {
+		t.Error("node 1 still grouped with its old cluster")
+	}
+	mustStayValid(t, g, m, 2)
+}
+
+// TestClusterShrinksToSingletonStaysValid empties {0,1,2} down to a
+// singleton: the mid node's detach strands the tail, and every fragment
+// must still be a connected, compact cluster.
+func TestClusterShrinksToSingletonStaysValid(t *testing.T) {
+	g, m := twoClusterSetup(t, Config{Delta: 2, Slack: 0.1, Metric: metric.Scalar{}})
+	m.Update(1, metric.Feature{10.1})
+	m.Update(2, metric.Feature{10.2})
+	if m.NumClusters() != 4 {
+		t.Errorf("NumClusters = %d, want 4 ({0} {1} {2} {3,4,5})", m.NumClusters())
+	}
+	for _, members := range m.Clustering().Members {
+		if len(members) > 3 {
+			t.Errorf("cluster %v larger than the surviving {3,4,5}", members)
+		}
+	}
+	mustStayValid(t, g, m, 2)
+	if f := m.Fragmentation(); f != 2 {
+		t.Errorf("Fragmentation = %v, want 2 (4 clusters from 2)", f)
+	}
+}

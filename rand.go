@@ -1,5 +1,16 @@
+// Randomness policy: this package has no hidden global randomness. Every
+// randomized component — dataset generators (TaoGenConfig.Seed, ...),
+// clustering runs (Config.Seed drives simulator delays and loss), the
+// asynchronous runtime, random topologies (NewRandomGeometric /
+// NewRandomNetwork seed parameters) and the streaming engine
+// (EngineConfig.Seed) — takes an explicit seed through its public
+// configuration, so identical inputs plus identical seeds reproduce
+// identical clusterings, message counts and query answers end to end.
+// math/rand's global source is never used.
 package elink
 
 import "math/rand"
 
+// newRand is the single construction point for seeded generators handed
+// to the internal packages.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench examples clean
+.PHONY: check build vet test race bench bench-obs examples clean
 
 ## check: everything CI runs — build, vet, tests, then the race pass
 check: build vet test race
@@ -14,13 +14,18 @@ vet:
 test:
 	$(GO) test ./...
 
-## race: the concurrent subsystems (streaming engine, async runtime)
-## under the race detector
+## race: the concurrent subsystems (streaming engine, async runtime,
+## metrics registry/tracer) under the race detector
 race:
-	$(GO) test -race ./internal/stream ./internal/sim ./cmd/elink-serve .
+	$(GO) test -race ./internal/stream ./internal/sim ./internal/obs ./cmd/elink-serve .
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+## bench-obs: replay the Tao stream through the engine bare and
+## instrumented, print the overhead, and dump the full metrics registry
+bench-obs:
+	$(GO) run ./cmd/elink-experiments -only obs -obs-out BENCH_obs.json
 
 ## examples: compile every example without running them
 examples:

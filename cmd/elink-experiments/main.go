@@ -41,6 +41,7 @@ var figures = []struct {
 	{"sampling", experiments.RepresentativeSampling},
 	{"hotspot", experiments.HotspotSpread},
 	{"optimality", experiments.OptimalityGap},
+	{"obs", experiments.ObsReplay},
 }
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 		dvTopos  = flag.Int("dv-topologies", 0, "override Death Valley topology count")
 		readings = flag.Int("readings", 0, "override synthetic readings per node")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		obsOut   = flag.String("obs-out", "", "with the obs figure: write the instrumented run's full metrics registry to this file as JSON")
 	)
 	flag.Parse()
 
@@ -90,7 +92,18 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		tbl, err := f.run(sc)
+		run := f.run
+		if f.name == "obs" && *obsOut != "" {
+			run = func(sc experiments.Scale) (*experiments.Table, error) {
+				out, err := os.Create(*obsOut)
+				if err != nil {
+					return nil, err
+				}
+				defer out.Close()
+				return experiments.ObsReplayTo(sc, out)
+			}
+		}
+		tbl, err := run(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "elink-experiments: %s: %v\n", f.name, err)
 			os.Exit(1)

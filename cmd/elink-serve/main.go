@@ -17,35 +17,51 @@
 //	POST /v1/query/path    {"danger":[...],"gamma":0.2,"src":0,"dst":53}
 //	GET  /v1/stats         cumulative engine counters
 //	GET  /v1/snapshot      current epoch's clustering
+//	GET  /metrics          Prometheus text exposition of the obs registry
+//	GET  /debug/trace      last ?n= trace events as JSON lines
+//	GET  /debug/pprof/     runtime profiles (only with -pprof)
+//
+// Errors are JSON bodies {"error":"..."} with meaningful statuses: bad
+// payloads are 400, a warming-up engine is 503, engine-internal failures
+// are 500. Every request is logged with method, path, status and
+// duration, and counted in http_requests_total / timed in
+// http_request_duration_seconds (path labels are route patterns, so the
+// cardinality is fixed).
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"elink"
 )
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":8080", "listen address")
-		rows   = flag.Int("rows", 6, "grid rows (ignored when -nodes > 0)")
-		cols   = flag.Int("cols", 9, "grid cols (ignored when -nodes > 0)")
-		nodes  = flag.Int("nodes", 0, "random-geometric node count (0 = use the grid)")
-		degree = flag.Float64("degree", 4, "average degree for the random network")
-		order  = flag.Int("order", 2, "AR model order (0 = feature-only ingest)")
-		delta  = flag.Float64("delta", 0.2, "clustering threshold δ")
-		slack  = flag.Float64("slack", 0, "maintenance slack Δ (0 = δ/10)")
-		policy = flag.String("policy", "adaptive", "re-cluster policy: never | adaptive | periodic")
-		frag   = flag.Float64("frag", 1.5, "fragmentation factor for -policy adaptive")
-		period = flag.Int("period", 20, "epoch period for -policy periodic")
-		warmup = flag.Int("warmup", 0, "observations per node before bootstrap (0 = 4*order)")
-		seed   = flag.Int64("seed", 1, "seed for topology and clustering runs")
+		addr      = flag.String("addr", ":8080", "listen address")
+		rows      = flag.Int("rows", 6, "grid rows (ignored when -nodes > 0)")
+		cols      = flag.Int("cols", 9, "grid cols (ignored when -nodes > 0)")
+		nodes     = flag.Int("nodes", 0, "random-geometric node count (0 = use the grid)")
+		degree    = flag.Float64("degree", 4, "average degree for the random network")
+		order     = flag.Int("order", 2, "AR model order (0 = feature-only ingest)")
+		delta     = flag.Float64("delta", 0.2, "clustering threshold δ")
+		slack     = flag.Float64("slack", 0, "maintenance slack Δ (0 = δ/10)")
+		policy    = flag.String("policy", "adaptive", "re-cluster policy: never | adaptive | periodic")
+		frag      = flag.Float64("frag", 1.5, "fragmentation factor for -policy adaptive")
+		period    = flag.Int("period", 20, "epoch period for -policy periodic")
+		warmup    = flag.Int("warmup", 0, "observations per node before bootstrap (0 = 4*order)")
+		seed      = flag.Int64("seed", 1, "seed for topology and clustering runs")
+		tracebuf  = flag.Int("tracebuf", 0, "trace ring capacity (0 = default)")
+		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -64,6 +80,8 @@ func main() {
 	if s == 0 {
 		s = *delta / 10
 	}
+	reg := elink.NewMetricsRegistry()
+	tracer := elink.NewTraceBuffer(*tracebuf)
 	engine, err := elink.NewEngine(g, elink.EngineConfig{
 		Order:               *order,
 		Delta:               *delta,
@@ -74,20 +92,16 @@ func main() {
 		FragmentationFactor: *frag,
 		Period:              *period,
 		WarmupObs:           *warmup,
+		Obs:                 reg,
+		Trace:               tracer,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elink-serve:", err)
 		os.Exit(2)
 	}
 
-	srv := &server{engine: engine}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", srv.health)
-	mux.HandleFunc("POST /v1/ingest", srv.ingest)
-	mux.HandleFunc("POST /v1/query/range", srv.rangeQuery)
-	mux.HandleFunc("POST /v1/query/path", srv.pathQuery)
-	mux.HandleFunc("GET /v1/stats", srv.stats)
-	mux.HandleFunc("GET /v1/snapshot", srv.snapshot)
+	srv := &server{engine: engine, reg: reg, tracer: tracer}
+	mux := newMux(srv, *withPprof)
 
 	log.Printf("elink-serve: %d nodes, order %d, delta %g, slack %g, policy %s, listening on %s",
 		g.N(), *order, *delta, s, pol, *addr)
@@ -108,6 +122,67 @@ func parsePolicy(s string) (elink.ReclusterPolicy, error) {
 
 type server struct {
 	engine *elink.Engine
+	reg    *elink.MetricsRegistry
+	tracer *elink.TraceBuffer
+}
+
+// newMux wires every route through the observe middleware; main and the
+// tests build the exact same handler tree.
+func newMux(s *server, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	handle := func(method, path string, h http.HandlerFunc) {
+		mux.Handle(method+" "+path, s.observe(path, h))
+	}
+	handle("GET", "/healthz", s.health)
+	handle("POST", "/v1/ingest", s.ingest)
+	handle("POST", "/v1/query/range", s.rangeQuery)
+	handle("POST", "/v1/query/path", s.pathQuery)
+	handle("GET", "/v1/stats", s.stats)
+	handle("GET", "/v1/snapshot", s.snapshot)
+	handle("GET", "/metrics", s.metrics)
+	handle("GET", "/debug/trace", s.trace)
+	if withPprof {
+		// The pprof handlers are wired explicitly so nothing is exposed
+		// unless the flag asks for it (the blank import would register on
+		// the default mux regardless).
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// statusRecorder captures the status a handler wrote so the middleware
+// can log and label it.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// observe wraps a handler with per-request structured logging and the
+// http_requests_total / http_request_duration_seconds metrics. The path
+// label is the registered route pattern, never the raw URL, so the label
+// set stays bounded.
+func (s *server) observe(path string, h http.HandlerFunc) http.Handler {
+	s.reg.Help("http_requests_total", "HTTP requests served, by route and status code.")
+	s.reg.Help("http_request_duration_seconds", "Wall-clock time serving an HTTP request, by route.")
+	hist := s.reg.Histogram("http_request_duration_seconds", elink.LatencyBuckets(), "path", path)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		d := time.Since(start)
+		s.reg.Counter("http_requests_total", "path", path, "code", strconv.Itoa(rec.status)).Inc()
+		hist.Observe(d.Seconds())
+		log.Printf("elink-serve: method=%s path=%s status=%d duration=%s", r.Method, path, rec.status, d)
+	})
 }
 
 // ingestRequest carries either raw readings (engine fits AR models) or
@@ -208,18 +283,54 @@ func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// metrics serves the registry in Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		log.Printf("elink-serve: write metrics: %v", err)
+	}
+}
+
+// trace streams the last n trace events (default: all buffered) as JSON
+// lines, oldest first.
+func (s *server) trace(w http.ResponseWriter, r *http.Request) {
+	n := s.tracer.Len()
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q: want a non-negative integer", raw))
+			return
+		}
+		n = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if err := s.tracer.WriteJSONL(w, n); err != nil {
+		log.Printf("elink-serve: write trace: %v", err)
+	}
+}
+
 // queryStatus maps engine query errors to HTTP statuses: a warming-up
 // engine is 503 (retry later), anything else is a bad request.
 func queryStatus(err error) int {
-	if err == elink.ErrNotReady {
+	if errors.Is(err, elink.ErrNotReady) {
 		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
 }
 
+// ingestStatus maps ingest errors: payload mistakes (tagged
+// ErrInvalidBatch) are the caller's fault, anything else is an engine
+// failure.
+func ingestStatus(err error) int {
+	if errors.Is(err, elink.ErrInvalidBatch) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
 func writeResult(w http.ResponseWriter, res *elink.IngestResult, err error) {
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, ingestStatus(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)

@@ -13,21 +13,17 @@ import (
 func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	t.Helper()
 	g := elink.NewGrid(1, 6)
+	reg := elink.NewMetricsRegistry()
+	tracer := elink.NewTraceBuffer(0)
 	engine, err := elink.NewEngine(g, elink.EngineConfig{
 		Order: 0, Delta: 2, Slack: 0.1, Metric: elink.Euclidean(), Seed: 1,
+		Obs: reg, Trace: tracer,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{engine: engine}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.health)
-	mux.HandleFunc("POST /v1/ingest", s.ingest)
-	mux.HandleFunc("POST /v1/query/range", s.rangeQuery)
-	mux.HandleFunc("POST /v1/query/path", s.pathQuery)
-	mux.HandleFunc("GET /v1/stats", s.stats)
-	mux.HandleFunc("GET /v1/snapshot", s.snapshot)
-	return s, mux
+	s := &server{engine: engine, reg: reg, tracer: tracer}
+	return s, newMux(s, false)
 }
 
 func do(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.ResponseRecorder {
@@ -125,5 +121,116 @@ func TestServeLifecycle(t *testing.T) {
 		if w = do(t, mux, "POST", "/v1/ingest", bad); w.Code != http.StatusBadRequest {
 			t.Errorf("ingest %q = %d, want 400", bad, w.Code)
 		}
+	}
+}
+
+// bootstrapTestServer ingests a two-plateau feature batch so the engine
+// is ready.
+func bootstrapTestServer(t *testing.T, mux *http.ServeMux) {
+	t.Helper()
+	batch := `{"features":[
+		{"node":0,"feature":[0]},{"node":1,"feature":[0.1]},{"node":2,"feature":[0.2]},
+		{"node":3,"feature":[9]},{"node":4,"feature":[9.1]},{"node":5,"feature":[9.2]}]}`
+	if w := do(t, mux, "POST", "/v1/ingest", batch); w.Code != http.StatusOK {
+		t.Fatalf("bootstrap ingest = %d %s", w.Code, w.Body.String())
+	}
+}
+
+func TestServeMetricsEndpoint(t *testing.T) {
+	_, mux := newTestServer(t)
+	bootstrapTestServer(t, mux)
+	if w := do(t, mux, "POST", "/v1/query/range", `{"feature":[0.1],"radius":0.5,"initiator":0}`); w.Code != http.StatusOK {
+		t.Fatalf("range = %d %s", w.Code, w.Body.String())
+	}
+
+	w := do(t, mux, "GET", "/metrics", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	body := w.Body.String()
+	for _, want := range []string{
+		"# TYPE engine_epoch gauge",
+		"engine_epoch 1",
+		"engine_clusters 2",
+		`elink_runs_total{mode="implicit"} 1`,
+		`queries_total{type="range"} 1`,
+		`sim_messages_total{kind=`,
+		`http_requests_total{code="200",path="/v1/ingest"} 1`,
+		"query_latency_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestServeTraceEndpoint(t *testing.T) {
+	_, mux := newTestServer(t)
+	bootstrapTestServer(t, mux)
+
+	w := do(t, mux, "GET", "/debug/trace", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("trace = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("trace Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace returned %d lines, want the bootstrap rounds plus the epoch event", len(lines))
+	}
+	var last elink.TraceEvent
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("last trace line %q: %v", lines[len(lines)-1], err)
+	}
+	if last.Scope != "engine" || last.Kind != "epoch" || last.Epoch != 1 {
+		t.Errorf("last event = %+v, want engine/epoch for epoch 1", last)
+	}
+
+	// n=1 returns exactly the newest event.
+	w = do(t, mux, "GET", "/debug/trace?n=1", "")
+	if got := strings.Count(w.Body.String(), "\n"); got != 1 {
+		t.Errorf("trace?n=1 returned %d lines", got)
+	}
+	// Bad n is a JSON 400.
+	w = do(t, mux, "GET", "/debug/trace?n=bogus", "")
+	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), `"error"`) {
+		t.Errorf("trace?n=bogus = %d %s, want JSON 400", w.Code, w.Body.String())
+	}
+}
+
+func TestServeErrorBodies(t *testing.T) {
+	_, mux := newTestServer(t)
+
+	// Payload mistakes are JSON 400s.
+	for _, bad := range []string{
+		`{"features":[{"node":99,"feature":[1]}]}`,
+		`{"readings":[{"node":0,"value":1}]}`, // Order-0 engine takes features only
+	} {
+		w := do(t, mux, "POST", "/v1/ingest", bad)
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("ingest %q = %d, want 400", bad, w.Code)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body.Error == "" {
+			t.Errorf("ingest %q body %q: want JSON {\"error\":...}", bad, w.Body.String())
+		}
+	}
+
+	// Warming-up engine: 503 with a JSON body.
+	w := do(t, mux, "GET", "/v1/snapshot", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), `"error"`) {
+		t.Errorf("snapshot before bootstrap = %d %s, want JSON 503", w.Code, w.Body.String())
+	}
+
+	// The middleware labels failures by status.
+	w = do(t, mux, "GET", "/metrics", "")
+	if !strings.Contains(w.Body.String(), `http_requests_total{code="503",path="/v1/snapshot"} 1`) {
+		t.Error("metrics missing the 503 snapshot request count")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"elink/internal/elink"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/query"
 	"elink/internal/sim"
 	"elink/internal/stream"
@@ -318,6 +319,45 @@ const (
 // ErrNotReady is returned by engine queries before the first clustering
 // has been bootstrapped (AR models still warming up).
 var ErrNotReady = stream.ErrNotReady
+
+// ErrInvalidBatch tags engine ingest errors caused by the batch payload
+// itself (unknown node, empty feature, wrong ingest mode); match with
+// errors.Is to separate caller mistakes from engine failures.
+var ErrInvalidBatch = stream.ErrInvalidBatch
+
+// Observability types, aliased from internal/obs. Hand a registry and a
+// trace buffer to EngineConfig.Obs/Trace (or elink.Config.Obs/Trace for
+// batch runs) and every layer — simulator rounds, ELink runs, slack-Δ
+// maintenance, index repairs, queries — reports into them.
+type (
+	// MetricsRegistry is a concurrency-safe registry of counters, gauges
+	// and histograms with Prometheus-text and JSON export.
+	MetricsRegistry = obs.Registry
+	// TraceBuffer is a bounded ring buffer of structured trace events
+	// (per-round simulator activity, per-epoch engine summaries) with
+	// JSONL export.
+	TraceBuffer = obs.Tracer
+	// TraceEvent is one structured trace record.
+	TraceEvent = obs.Event
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTraceBuffer returns a trace ring buffer holding the last capacity
+// events (capacity <= 0 selects obs.DefaultTraceCapacity).
+func NewTraceBuffer(capacity int) *TraceBuffer { return obs.NewTracer(capacity) }
+
+// LatencyBuckets returns the shared latency histogram layout (1µs–10s)
+// used by every *_latency_seconds and *_duration_seconds family.
+func LatencyBuckets() []float64 { return obs.LatencyBuckets() }
+
+// MessageBuckets returns the shared message-count histogram layout.
+func MessageBuckets() []float64 { return obs.MessageBuckets() }
+
+// RoundBuckets returns the shared round-count histogram layout (powers
+// of two).
+func RoundBuckets() []float64 { return obs.RoundBuckets() }
 
 // NewEngine builds a streaming engine over the network. Ingest batches
 // with Engine.Ingest (raw readings, Order >= 1) or Engine.IngestFeatures

@@ -27,6 +27,7 @@ import (
 
 	"elink/internal/cluster"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/sim"
 	"elink/internal/topology"
 )
@@ -100,6 +101,15 @@ type Config struct {
 	Loss float64
 	// Seed drives any randomized delay model and the loss process.
 	Seed int64
+	// Obs, when non-nil, receives live message counters for the run
+	// (sim_messages_total{scope="elink",kind}) plus a completion summary:
+	// elink_runs_total, elink_run_rounds / elink_run_messages histograms
+	// and the elink_clusters gauge, all labelled by signalling mode.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives one event per simulated round (round
+	// number, messages by kind, nodes active) and a final "converged"
+	// event — the raw data behind the O(√N log N) round claim.
+	Trace *obs.Tracer
 }
 
 func (c *Config) withDefaults(n int) Config {
@@ -151,6 +161,7 @@ func Run(g *topology.Graph, cfg Config) (*cluster.Result, error) {
 	sh := newShared(g, qt, cfg)
 
 	net := sim.NewNetwork(g, cfg.Delay, cfg.Seed)
+	net.Instrument(cfg.Obs, cfg.Trace, "elink")
 	if cfg.Loss > 0 {
 		net.SetLoss(cfg.Loss)
 	}
@@ -161,17 +172,50 @@ func Run(g *topology.Graph, cfg Config) (*cluster.Result, error) {
 	}
 	end := net.Run()
 
-	return assemble(g, nodes, cluster.Stats{
+	res, err := assemble(g, nodes, cluster.Stats{
 		Messages:  net.TotalMessages(),
 		Breakdown: net.MessageBreakdown(),
 		Time:      end,
+	})
+	if err != nil {
+		return nil, err
+	}
+	observeRun(cfg, res, end)
+	return res, nil
+}
+
+// observeRun publishes a completed run's summary into the configured
+// observability sinks. With the synchronous unit-delay model the run's
+// end time is its round count, the quantity Theorem 2/3 bound by
+// O(√N log N).
+func observeRun(cfg Config, res *cluster.Result, end float64) {
+	mode := cfg.Mode.String()
+	if cfg.Obs != nil {
+		cfg.Obs.Help("elink_runs_total", "Completed ELink clustering runs by signalling mode.")
+		cfg.Obs.Help("elink_run_rounds", "Rounds (simulated time) per ELink run.")
+		cfg.Obs.Help("elink_run_messages", "Total radio transmissions per ELink run.")
+		cfg.Obs.Help("elink_clusters", "Cluster count of the most recent ELink run.")
+		cfg.Obs.Counter("elink_runs_total", "mode", mode).Inc()
+		cfg.Obs.Histogram("elink_run_rounds", obs.RoundBuckets(), "mode", mode).Observe(end)
+		cfg.Obs.Histogram("elink_run_messages", obs.MessageBuckets(), "mode", mode).Observe(float64(res.Stats.Messages))
+		cfg.Obs.Gauge("elink_clusters", "mode", mode).Set(float64(res.Clustering.NumClusters()))
+	}
+	cfg.Trace.Record(obs.Event{
+		Scope: "elink", Kind: "converged", Time: end,
+		Fields: map[string]float64{
+			"clusters": float64(res.Clustering.NumClusters()),
+			"messages": float64(res.Stats.Messages),
+			"rounds":   end,
+		},
 	})
 }
 
 // RunAsync executes the explicit-signalling protocol on the goroutine
 // runtime (one goroutine per node, channels as links). The clustering it
 // returns satisfies the same invariants as Run's, but the exact clusters
-// depend on the scheduler's interleaving.
+// depend on the scheduler's interleaving. The Obs/Trace sinks are not
+// wired here: the goroutine runtime has no synchronous round structure
+// to trace (use Run for instrumented experiments).
 func RunAsync(g *topology.Graph, cfg Config) (*cluster.Result, error) {
 	if err := cfg.validate(g); err != nil {
 		return nil, err
@@ -624,6 +668,7 @@ func TxPerNode(g *topology.Graph, cfg Config) ([]int64, error) {
 	sh := newShared(g, qt, cfg)
 
 	net := sim.NewNetwork(g, cfg.Delay, cfg.Seed)
+	net.Instrument(cfg.Obs, cfg.Trace, "elink")
 	if cfg.Loss > 0 {
 		net.SetLoss(cfg.Loss)
 	}

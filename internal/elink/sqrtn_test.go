@@ -1,0 +1,82 @@
+package elink
+
+import (
+	"math"
+	"testing"
+
+	"elink/internal/metric"
+	"elink/internal/obs"
+	"elink/internal/topology"
+)
+
+// tracedRounds runs ELink on a side x side grid with uniform features
+// (everything merges into one cluster — the worst case for sentinel
+// escalation) and reads the synchronous round count off the per-round
+// trace events rather than any internal counter.
+func tracedRounds(t *testing.T, side int) float64 {
+	t.Helper()
+	g := topology.NewGrid(side, side)
+	feats := make([]metric.Feature, g.N())
+	for u := range feats {
+		feats[u] = metric.Feature{0}
+	}
+	tr := obs.NewTracer(1 << 16)
+	res, err := Run(g, Config{
+		Delta:    1,
+		Metric:   metric.Scalar{},
+		Features: feats,
+		Trace:    tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clustering.NumClusters() != 1 {
+		t.Fatalf("side %d: %d clusters, want 1", side, res.Clustering.NumClusters())
+	}
+	rounds := 0
+	for _, e := range tr.Last(tr.Len()) {
+		if e.Scope == "elink" && e.Kind == "round" && e.Round > rounds {
+			rounds = e.Round
+		}
+	}
+	if rounds == 0 {
+		t.Fatalf("side %d: no round events traced", side)
+	}
+	return float64(rounds)
+}
+
+// TestRoundsGrowSqrtN pins ELink's Theorem 2 complexity end to end: the
+// number of synchronous rounds grows like √N (times a log factor) in the
+// network size. The log-log slope over a geometric ladder of grids must
+// sit near 1/2 — well below linear, well above constant.
+func TestRoundsGrowSqrtN(t *testing.T) {
+	sides := []int{8, 16, 32}
+	var xs, ys []float64
+	for _, side := range sides {
+		n := float64(side * side)
+		r := tracedRounds(t, side)
+		t.Logf("N=%4.0f rounds=%3.0f", n, r)
+		xs = append(xs, math.Log(n))
+		ys = append(ys, math.Log(r))
+	}
+	for i := 1; i < len(ys); i++ {
+		if ys[i] <= ys[i-1] {
+			t.Fatalf("rounds not increasing across grid sizes: %v", ys)
+		}
+	}
+	// Least-squares slope of log(rounds) against log(N).
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	k := float64(len(xs))
+	slope := (k*sxy - sx*sy) / (k*sxx - sx*sx)
+	// √N log N on this ladder fits a slope a bit above 0.5; linear growth
+	// would be 1.0 and constant 0. Accept the √N band.
+	if slope < 0.3 || slope > 0.8 {
+		t.Errorf("log-log slope of rounds vs N = %.3f, want ~0.5 (√N growth)", slope)
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"elink/internal/metric"
+	"elink/internal/obs"
+	"elink/internal/stream"
+	"elink/internal/topology"
+)
+
+// ObsReplay replays the Tao feature stream through the streaming engine
+// twice — once bare, once with the full obs registry + tracer attached —
+// and reports both wall times so the instrumentation overhead is a
+// measured number, not a claim. The figures table carries the headline
+// counters; ObsReplayTo can additionally dump the whole registry as JSON.
+func ObsReplay(sc Scale) (*Table, error) { return ObsReplayTo(sc, nil) }
+
+// ObsReplayTo is ObsReplay with an optional writer receiving the
+// instrumented run's registry as JSON (nil skips the dump).
+func ObsReplayTo(sc Scale, dump io.Writer) (*Table, error) {
+	st, err := newTaoStream(sc)
+	if err != nil {
+		return nil, err
+	}
+
+	bare, err := replayEngineTao(st, sc, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(0)
+	inst, err := replayEngineTao(st, sc, reg, tr)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:   "Obs: instrumented Tao replay (streaming engine, registry + tracer)",
+		XLabel:  "instrumented",
+		Columns: []string{"wall-ms", "epochs", "clusters", "update-msgs", "range-queries"},
+		Notes: []string{
+			sc.note(),
+			fmt.Sprintf("delta=%v slack=%v", fig10Delta, 0.1*fig10Delta),
+			fmt.Sprintf("overhead: %+.1f%% wall time, %d trace events recorded",
+				100*(inst.wall.Seconds()/bare.wall.Seconds()-1), tr.Total()),
+		},
+	}
+	t.AddRow(0, float64(bare.wall.Milliseconds()), float64(bare.stats.Epochs),
+		float64(bare.stats.NumClusters), float64(bare.stats.TotalUpdateMsgs()), float64(bare.stats.RangeQueries))
+	t.AddRow(1, float64(inst.wall.Milliseconds()), float64(inst.stats.Epochs),
+		float64(inst.stats.NumClusters), float64(inst.stats.TotalUpdateMsgs()), float64(inst.stats.RangeQueries))
+
+	if dump != nil {
+		if err := reg.WriteJSON(dump); err != nil {
+			return nil, fmt.Errorf("experiments: dump registry: %w", err)
+		}
+	}
+	return t, nil
+}
+
+type replayOutcome struct {
+	wall  time.Duration
+	stats stream.Stats
+}
+
+// replayEngineTao streams every precomputed Tao day through an engine as
+// one feature batch per day, interleaving range queries so the query-side
+// instrumentation is exercised too.
+func replayEngineTao(st *taoStream, sc Scale, reg *obs.Registry, tr *obs.Tracer) (replayOutcome, error) {
+	g := st.ds.Graph
+	eng, err := stream.New(g, stream.Config{
+		Order:  0,
+		Delta:  fig10Delta,
+		Slack:  0.1 * fig10Delta,
+		Metric: st.ds.Metric,
+		Seed:   sc.Seed,
+		Obs:    reg,
+		Trace:  tr,
+	})
+	if err != nil {
+		return replayOutcome{}, err
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	start := time.Now()
+	for d := st.firstDay; d < st.firstDay+len(st.featAt); d++ {
+		batch := make([]stream.FeatureUpdate, g.N())
+		for u := 0; u < g.N(); u++ {
+			batch[u] = stream.FeatureUpdate{Node: topology.NodeID(u), Feature: st.featAt[d][u]}
+		}
+		if _, err := eng.IngestFeatures(batch); err != nil {
+			return replayOutcome{}, err
+		}
+		for q := 0; q < sc.Queries; q++ {
+			probe := st.featAt[d][rng.Intn(g.N())]
+			center := make(metric.Feature, len(probe))
+			copy(center, probe)
+			if _, err := eng.RangeQuery(center, fig10Delta, topology.NodeID(rng.Intn(g.N()))); err != nil {
+				return replayOutcome{}, err
+			}
+		}
+	}
+	return replayOutcome{wall: time.Since(start), stats: eng.Stats()}, nil
+}

@@ -253,6 +253,21 @@ func (idx *Index) Validate() error {
 	return nil
 }
 
+// MaxDepth returns the deepest entry depth across every cluster tree —
+// the worst-case hop count of one M-tree descent, and the index-shape
+// gauge the streaming engine publishes per epoch.
+func (idx *Index) MaxDepth() int {
+	d := 0
+	for _, cl := range idx.Clusters {
+		for _, e := range cl.Entries {
+			if e.Depth > d {
+				d = e.Depth
+			}
+		}
+	}
+	return d
+}
+
 // MaxRadius returns the largest root covering radius; useful to compare
 // with δ/2 (the paper's a-priori bound).
 func (idx *Index) MaxRadius() float64 {

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, series sorted by
+// label string, histograms expanded into cumulative _bucket/_sum/_count
+// lines. Values are read live; a scrape concurrent with writers sees
+// each metric at some point during the scrape, which is the usual
+// Prometheus consistency model.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		help, kind := f.help, f.kind
+		r.mu.Unlock()
+		if len(sers) == 0 {
+			continue // described but never used
+		}
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, kind)
+		for i, s := range sers {
+			writeSeries(&b, f.name, keys[i], kind, s)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, name, labels string, kind metricKind, s *series) {
+	switch kind {
+	case kindCounter:
+		writeSample(b, name, labels, "", strconv.FormatInt(s.ctr.Value(), 10))
+	case kindGauge:
+		writeSample(b, name, labels, "", formatFloat(s.gauge.Value()))
+	case kindHistogram:
+		h := s.hist
+		cum := h.Cumulative()
+		for i, bound := range h.bounds {
+			le := `le="` + formatFloat(bound) + `"`
+			writeSample(b, name+"_bucket", joinLabels(labels, le), "", strconv.FormatInt(cum[i], 10))
+		}
+		writeSample(b, name+"_bucket", joinLabels(labels, `le="+Inf"`), "", strconv.FormatInt(cum[len(cum)-1], 10))
+		writeSample(b, name+"_sum", labels, "", formatFloat(h.Sum()))
+		writeSample(b, name+"_count", labels, "", strconv.FormatInt(h.Count(), 10))
+	}
+}
+
+func writeSample(b *strings.Builder, name, labels, suffix, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// jsonSeries is one series in the WriteJSON dump.
+type jsonSeries struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	// Counter / gauge value.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram payload: cumulative counts per bound, then +Inf.
+	Buckets []jsonBucket `json:"buckets,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Count   *int64       `json:"count,omitempty"`
+}
+
+type jsonBucket struct {
+	LE    string `json:"le"` // formatted bound; "+Inf" for the last
+	Count int64  `json:"count"`
+}
+
+// WriteJSON dumps every series as a JSON array, sorted like the
+// Prometheus exposition. The bench/experiments harness writes this next
+// to its figures so the empirical complexity checks read the same
+// instrumentation production scrapes do.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	var out []jsonSeries
+	for _, f := range fams {
+		r.mu.Lock()
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sers := make([]*series, len(keys))
+		for i, k := range keys {
+			sers[i] = f.series[k]
+		}
+		kind := f.kind
+		r.mu.Unlock()
+		for _, s := range sers {
+			js := jsonSeries{Name: f.name, Type: kind.String()}
+			if len(s.labels) > 0 {
+				js.Labels = make(map[string]string, len(s.labels))
+				for _, p := range s.labels {
+					js.Labels[p.key] = p.value
+				}
+			}
+			switch kind {
+			case kindCounter:
+				v := float64(s.ctr.Value())
+				js.Value = &v
+			case kindGauge:
+				v := s.gauge.Value()
+				js.Value = &v
+			case kindHistogram:
+				h := s.hist
+				cum := h.Cumulative()
+				for i, bound := range h.bounds {
+					js.Buckets = append(js.Buckets, jsonBucket{LE: formatFloat(bound), Count: cum[i]})
+				}
+				js.Buckets = append(js.Buckets, jsonBucket{LE: "+Inf", Count: cum[len(cum)-1]})
+				sum, count := h.Sum(), h.Count()
+				js.Sum, js.Count = &sum, &count
+			}
+			out = append(out, js)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

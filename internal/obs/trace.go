@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Event is one structured trace record. The simulator emits one per
+// simulated round (Kind "round": round number, per-kind message deltas,
+// nodes active), algorithms emit summary events (Kind "converged"), and
+// the streaming engine emits one per published epoch (Kind "epoch").
+// Fields carries any extra numeric payload so the schema stays closed.
+type Event struct {
+	// Seq is a monotonic sequence number stamped by the tracer.
+	Seq int64 `json:"seq"`
+	// Scope names the emitting subsystem ("elink", "engine", ...).
+	Scope string `json:"scope,omitempty"`
+	// Kind is the event type ("round", "converged", "epoch", ...).
+	Kind string `json:"kind"`
+	// Round is the simulated round for per-round events.
+	Round int `json:"round,omitempty"`
+	// Time is the simulated time (rounds for the synchronous model).
+	Time float64 `json:"t,omitempty"`
+	// Epoch is the streaming-engine epoch for engine events.
+	Epoch int64 `json:"epoch,omitempty"`
+	// Active is how many nodes handled at least one event this round.
+	Active int `json:"active,omitempty"`
+	// Msgs holds per-kind message counts sent during the round.
+	Msgs map[string]int64 `json:"msgs,omitempty"`
+	// Fields holds any additional numeric payload (cluster counts,
+	// fragmentation, ...).
+	Fields map[string]float64 `json:"fields,omitempty"`
+	// Note is a free-form annotation.
+	Note string `json:"note,omitempty"`
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer gets a
+// non-positive capacity.
+const DefaultTraceCapacity = 4096
+
+// Tracer is a bounded ring buffer of Events. Record overwrites the
+// oldest entry once the buffer is full, so memory stays constant no
+// matter how long the process runs. All methods are safe for concurrent
+// use and on a nil receiver (no-ops / empty results), so call sites can
+// thread an optional tracer without branching.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int   // index the next Record writes to
+	seq   int64 // total events ever recorded
+	wrapd bool  // the ring has wrapped at least once
+}
+
+// NewTracer returns a tracer holding the last capacity events
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends e, stamping its Seq, evicting the oldest event when
+// full.
+func (t *Tracer) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	t.seq++
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapd = true
+	}
+	t.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Total returns how many events were ever recorded (including evicted
+// ones).
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Len returns how many events the ring currently holds.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.len()
+}
+
+func (t *Tracer) len() int {
+	if t.wrapd {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Last returns a copy of the most recent n events, oldest first. n <= 0
+// or n larger than the buffered count returns everything buffered.
+func (t *Tracer) Last(n int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.len()
+	if n <= 0 || n > have {
+		n = have
+	}
+	out := make([]Event, n)
+	// The newest event sits at next-1; walk back n slots.
+	start := t.next - n
+	if start < 0 {
+		start += len(t.buf)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = t.buf[(start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// WriteJSONL writes the most recent n events (see Last) as one JSON
+// object per line, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer, n int) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw) // Encode appends the newline
+	for _, e := range t.Last(n) {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

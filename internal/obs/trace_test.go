@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerWraparound(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: "round", Round: i})
+	}
+	if tr.Total() != 10 || tr.Len() != 4 {
+		t.Fatalf("total=%d len=%d, want 10/4", tr.Total(), tr.Len())
+	}
+	got := tr.Last(0)
+	if len(got) != 4 {
+		t.Fatalf("Last(0) returned %d events, want all 4", len(got))
+	}
+	for i, e := range got {
+		if want := 6 + i; e.Round != want || e.Seq != int64(want) {
+			t.Errorf("event %d = round %d seq %d, want round/seq %d", i, e.Round, e.Seq, want)
+		}
+	}
+	// A window smaller than the buffer returns the newest events.
+	if got = tr.Last(2); len(got) != 2 || got[0].Round != 8 || got[1].Round != 9 {
+		t.Errorf("Last(2) = %+v, want rounds 8,9", got)
+	}
+	// Asking for more than buffered clips to what is there.
+	if got = tr.Last(100); len(got) != 4 {
+		t.Errorf("Last(100) = %d events, want 4", len(got))
+	}
+}
+
+func TestTracerBeforeWrap(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Kind: "a"})
+	tr.Record(Event{Kind: "b"})
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	got := tr.Last(0)
+	if len(got) != 2 || got[0].Kind != "a" || got[1].Kind != "b" {
+		t.Errorf("Last = %+v, want a,b in order", got)
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	if got := NewTracer(0).Cap(); got != DefaultTraceCapacity {
+		t.Errorf("cap = %d, want %d", got, DefaultTraceCapacity)
+	}
+}
+
+func TestTracerConcurrentRecord(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Record(Event{Kind: "round", Round: i})
+				_ = tr.Last(8)
+			}
+		}()
+	}
+	wg.Wait()
+	if tr.Total() != 8*500 {
+		t.Errorf("total = %d, want %d", tr.Total(), 8*500)
+	}
+	// Seqs of the surviving window must be strictly increasing.
+	last := tr.Last(0)
+	for i := 1; i < len(last); i++ {
+		if last[i].Seq != last[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs at %d: %d then %d", i, last[i-1].Seq, last[i].Seq)
+		}
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Scope: "elink", Kind: "round", Round: 1, Time: 1,
+		Active: 3, Msgs: map[string]int64{"expand": 5}})
+	tr.Record(Event{Scope: "elink", Kind: "converged", Time: 2,
+		Fields: map[string]float64{"clusters": 4}})
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b, 10); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines []Event
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, e)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(lines))
+	}
+	if lines[0].Kind != "round" || lines[0].Msgs["expand"] != 5 || lines[0].Active != 3 {
+		t.Errorf("round line = %+v", lines[0])
+	}
+	if lines[1].Kind != "converged" || lines[1].Fields["clusters"] != 4 {
+		t.Errorf("converged line = %+v", lines[1])
+	}
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"time"
+
+	"elink/internal/obs"
+)
+
+// Observability families shared by both query kinds: latency histograms
+// on the fixed LatencyBuckets layout, message and query counters, and
+// the range query's pruning-decision breakdown. Both helpers are nil-
+// safe on reg so call sites can thread an optional registry straight
+// through.
+
+func describeQueries(reg *obs.Registry) {
+	reg.Help("queries_total", "Queries answered, by query type.")
+	reg.Help("query_messages_total", "Radio transmissions spent answering queries, by query type.")
+	reg.Help("query_latency_seconds", "Wall-clock latency answering a query against a snapshot.")
+	reg.Help("query_range_clusters_total", "Per-cluster pruning decisions of range queries.")
+}
+
+// ObserveRange records one completed range query: latency, message cost
+// and the pruning decisions its cluster scan made.
+func ObserveRange(reg *obs.Registry, res *RangeResult, d time.Duration) {
+	if reg == nil {
+		return
+	}
+	describeQueries(reg)
+	reg.Counter("queries_total", "type", "range").Inc()
+	reg.Counter("query_messages_total", "type", "range").Add(res.Stats.Messages)
+	reg.Histogram("query_latency_seconds", obs.LatencyBuckets(), "type", "range").Observe(d.Seconds())
+	reg.Counter("query_range_clusters_total", "decision", "excluded").Add(int64(res.ClustersExcluded))
+	reg.Counter("query_range_clusters_total", "decision", "included").Add(int64(res.ClustersIncluded))
+	reg.Counter("query_range_clusters_total", "decision", "searched").Add(int64(res.ClustersSearched))
+}
+
+// ObservePath records one completed path query: latency, message cost
+// and whether a safe path was found.
+func ObservePath(reg *obs.Registry, res *PathResult, d time.Duration) {
+	if reg == nil {
+		return
+	}
+	describeQueries(reg)
+	reg.Counter("queries_total", "type", "path").Inc()
+	reg.Counter("query_messages_total", "type", "path").Add(res.Stats.Messages)
+	reg.Histogram("query_latency_seconds", obs.LatencyBuckets(), "type", "path").Observe(d.Seconds())
+	found := "false"
+	if res.Found {
+		found = "true"
+	}
+	reg.Counter("query_path_results_total", "found", found).Inc()
+}

@@ -139,6 +139,7 @@ type Network struct {
 	dropped   int64
 	loss      float64
 	trace     func(at float64, msg Message)
+	obs       *netObs // optional metrics/trace sink (see Instrument)
 
 	// MaxEvents guards against protocol bugs that never quiesce.
 	MaxEvents int64
@@ -265,26 +266,14 @@ func (n *Network) Drain() float64 {
 	var processed int64
 	for len(n.pq) > 0 {
 		e := heap.Pop(&n.pq).(event)
-		n.now = e.time
 		processed++
 		if processed > n.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded %d events; protocol likely does not terminate", n.MaxEvents))
 		}
-		p := n.protocols[e.node]
-		if p == nil {
-			continue
-		}
-		ctx := &nodeCtx{net: n, id: e.node}
-		switch e.kind {
-		case evMessage:
-			n.delivered++
-			if n.trace != nil {
-				n.trace(n.now, e.msg)
-			}
-			p.OnMessage(ctx, e.msg)
-		case evTimer:
-			p.OnTimer(ctx, e.key)
-		}
+		n.dispatch(e)
+	}
+	if n.obs != nil {
+		n.obs.flush() // the final, possibly partial round
 	}
 	return n.now
 }
@@ -297,22 +286,34 @@ func (n *Network) StepUntil(t float64) {
 			return
 		}
 		heap.Pop(&n.pq)
-		n.now = e.time
-		p := n.protocols[e.node]
-		if p == nil {
-			continue
+		n.dispatch(e)
+	}
+}
+
+// dispatch runs one event's handler, keeping the clock, the delivery
+// accounting and the optional observability sink in step.
+func (n *Network) dispatch(e event) {
+	n.now = e.time
+	if n.obs != nil {
+		n.obs.tick(e.time)
+	}
+	p := n.protocols[e.node]
+	if p == nil {
+		return
+	}
+	if n.obs != nil {
+		n.obs.markActive(e.node)
+	}
+	ctx := &nodeCtx{net: n, id: e.node}
+	switch e.kind {
+	case evMessage:
+		n.delivered++
+		if n.trace != nil {
+			n.trace(n.now, e.msg)
 		}
-		ctx := &nodeCtx{net: n, id: e.node}
-		switch e.kind {
-		case evMessage:
-			n.delivered++
-			if n.trace != nil {
-				n.trace(n.now, e.msg)
-			}
-			p.OnMessage(ctx, e.msg)
-		case evTimer:
-			p.OnTimer(ctx, e.key)
-		}
+		p.OnMessage(ctx, e.msg)
+	case evTimer:
+		p.OnTimer(ctx, e.key)
 	}
 }
 
@@ -354,8 +355,12 @@ func (c *nodeCtx) Send(to topology.NodeID, kind string, payload any) {
 	}
 	n.counts[kind]++
 	n.perNode[c.id]++
+	if n.obs != nil {
+		n.obs.count(kind, 1)
+	}
 	if n.loss > 0 && n.rng.Float64() < n.loss {
 		n.dropped++
+		n.obs.droppedInc()
 		return
 	}
 	d := n.delay.HopDelay(n.rng, c.id, to)
@@ -378,9 +383,13 @@ func (c *nodeCtx) Route(to topology.NodeID, kind string, payload any) {
 	for i := 0; i+1 < len(path); i++ {
 		n.counts[kind]++
 		n.perNode[path[i]]++
+		if n.obs != nil {
+			n.obs.count(kind, 1)
+		}
 		if n.loss > 0 && n.rng.Float64() < n.loss {
 			// The frame dies mid-route: hops up to here were paid for.
 			n.dropped++
+			n.obs.droppedInc()
 			return
 		}
 		delay += n.delay.HopDelay(n.rng, path[i], path[i+1])

@@ -22,6 +22,13 @@ import (
 // every node's AR model has warmed up and the bootstrap clustering ran.
 var ErrNotReady = errors.New("stream: engine has no clustering yet (models still warming up)")
 
+// ErrInvalidBatch tags ingest errors caused by the batch payload itself —
+// a node id outside the graph, an empty feature vector, or the wrong
+// ingest call for the engine's configuration. Callers (e.g. the HTTP
+// daemon) match it with errors.Is to map payload mistakes to 4xx
+// statuses while treating every other ingest error as engine-internal.
+var ErrInvalidBatch = errors.New("stream: invalid batch")
+
 // Engine is the live streaming engine: single ingest writer, lock-free
 // concurrent query readers against an atomically published Snapshot.
 type Engine struct {
@@ -59,6 +66,9 @@ type Engine struct {
 	reclusters     int64
 	rebuilds       int64
 	refreshMsgs    int64
+
+	// eobs caches metric handles (zero value = observability off).
+	eobs engineObs
 
 	snap atomic.Pointer[Snapshot]
 
@@ -100,6 +110,7 @@ func New(g *topology.Graph, cfg Config) (*Engine, error) {
 		cfg:     cfg,
 		feats:   make([]metric.Feature, g.N()),
 		featSet: make([]bool, g.N()),
+		eobs:    newEngineObs(cfg.Obs, cfg.Trace),
 	}
 	if cfg.Order >= 1 {
 		e.models = make([]*ar.Model, g.N())
@@ -137,14 +148,14 @@ func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.models == nil {
-		return nil, errors.New("stream: engine configured with Order=0 ingests features only (use IngestFeatures)")
+		return nil, fmt.Errorf("%w: engine configured with Order=0 ingests features only (use IngestFeatures)", ErrInvalidBatch)
 	}
 
 	res := &IngestResult{}
 	touched := make(map[topology.NodeID]bool)
 	for _, r := range batch {
 		if int(r.Node) < 0 || int(r.Node) >= e.g.N() {
-			return nil, fmt.Errorf("stream: reading for node %d outside [0,%d)", r.Node, e.g.N())
+			return nil, fmt.Errorf("%w: reading for node %d outside [0,%d)", ErrInvalidBatch, r.Node, e.g.N())
 		}
 		m := e.models[r.Node]
 		before := m.Seen()
@@ -157,6 +168,7 @@ func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 		e.readings++
 		res.Readings++
 	}
+	e.eobs.readings.Add(int64(res.Readings))
 
 	if !e.ready {
 		if e.warm < e.g.N() {
@@ -188,10 +200,10 @@ func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
 	touched := make(map[topology.NodeID]bool)
 	for _, up := range batch {
 		if int(up.Node) < 0 || int(up.Node) >= e.g.N() {
-			return nil, fmt.Errorf("stream: feature update for node %d outside [0,%d)", up.Node, e.g.N())
+			return nil, fmt.Errorf("%w: feature update for node %d outside [0,%d)", ErrInvalidBatch, up.Node, e.g.N())
 		}
 		if len(up.Feature) == 0 {
-			return nil, fmt.Errorf("stream: empty feature for node %d", up.Node)
+			return nil, fmt.Errorf("%w: empty feature for node %d", ErrInvalidBatch, up.Node)
 		}
 		e.feats[up.Node] = up.Feature.Clone()
 		if !e.featSet[up.Node] {
@@ -201,6 +213,7 @@ func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
 		touched[up.Node] = true
 		res.Readings++
 	}
+	e.eobs.readings.Add(int64(res.Readings))
 
 	if !e.ready {
 		if e.featCovered < e.g.N() {
@@ -240,6 +253,7 @@ func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
 		if err := e.recluster(); err != nil {
 			return err
 		}
+		e.eobs.reclusters.Inc()
 		res.Reclustered = true
 	case res.Detaches > 0:
 		// Membership changed: the M-tree topology is stale, rebuild it
@@ -247,6 +261,7 @@ func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
 		if err := e.rebuildIndex(); err != nil {
 			return err
 		}
+		e.eobs.rebuilds.Inc()
 	case len(nodes) > 0:
 		// Membership stable: repair routing features and covering radii
 		// in place, one bounded wave per drifted node.
@@ -257,6 +272,7 @@ func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
 				return err
 			}
 			e.refreshMsgs += msgs
+			e.eobs.refresh.Add(msgs)
 		}
 	}
 
@@ -316,12 +332,15 @@ func (e *Engine) fullCluster() (*cluster.Result, *index.Index, *update.Maintaine
 		Features: feats,
 		Mode:     e.cfg.Mode,
 		Seed:     e.cfg.Seed,
+		Obs:      e.cfg.Obs,
+		Trace:    e.cfg.Trace,
 	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("stream: clustering run: %w", err)
 	}
 	m, err := update.NewMaintainer(e.g, res.Clustering, feats, update.Config{
 		Delta: e.cfg.Delta, Slack: e.cfg.Slack, Metric: e.cfg.Metric,
+		Obs: e.cfg.Obs,
 	})
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("stream: maintainer: %w", err)
@@ -366,6 +385,7 @@ func (e *Engine) publish() {
 		Index:      e.idx,
 		Features:   e.idx.Features,
 	})
+	e.eobs.publish(e.epoch, e.maint.NumClusters(), e.maint.Fragmentation(), e.idx.MaxDepth())
 }
 
 // RangeQuery answers a §7.2 range query against the current snapshot.
@@ -380,7 +400,9 @@ func (e *Engine) RangeQuery(q metric.Feature, r float64, initiator topology.Node
 	}
 	start := time.Now()
 	res := query.Range(s.Index, q, r, initiator)
-	e.recordQuery(&e.rangeQ, time.Since(start), res.Stats.Messages)
+	d := time.Since(start)
+	e.recordQuery(&e.rangeQ, d, res.Stats.Messages)
+	query.ObserveRange(e.cfg.Obs, res, d)
 	return res, nil
 }
 
@@ -396,7 +418,9 @@ func (e *Engine) PathQuery(danger metric.Feature, gamma float64, src, dst topolo
 	}
 	start := time.Now()
 	res := query.Path(s.Index, danger, gamma, src, dst)
-	e.recordQuery(&e.pathQ, time.Since(start), res.Stats.Messages)
+	d := time.Since(start)
+	e.recordQuery(&e.pathQ, d, res.Stats.Messages)
+	query.ObservePath(e.cfg.Obs, res, d)
 	return res, nil
 }
 
@@ -416,6 +440,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	s := Stats{
 		Epochs:        e.epoch,
+		CollectedAt:   time.Now(),
 		Readings:      e.readings,
 		Updates:       e.updates,
 		Screening:     e.screening,

@@ -1,0 +1,64 @@
+package stream
+
+import "elink/internal/obs"
+
+// engineObs caches the engine's metric handles so the per-epoch hot path
+// never re-resolves label sets. The zero value is the off state: every
+// obs handle method is nil-receiver safe, so an un-instrumented engine
+// pays one nil test per site and nothing else.
+type engineObs struct {
+	epoch    *obs.Gauge
+	clusters *obs.Gauge
+	frag     *obs.Gauge
+	depth    *obs.Gauge
+
+	readings   *obs.Counter
+	reclusters *obs.Counter
+	rebuilds   *obs.Counter
+	refresh    *obs.Counter
+
+	tracer *obs.Tracer
+}
+
+func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
+	eo := engineObs{tracer: tr}
+	if reg == nil {
+		return eo
+	}
+	reg.Help("engine_epoch", "Current published snapshot epoch.")
+	reg.Help("engine_clusters", "Cluster count of the published snapshot.")
+	reg.Help("engine_fragmentation", "Cluster count relative to the last full clustering run.")
+	reg.Help("engine_index_depth", "Deepest M-tree entry in the published index.")
+	reg.Help("engine_readings_total", "Measurements and feature updates ingested.")
+	reg.Help("engine_reclusters_total", "Policy-triggered full ELink re-runs (bootstrap excluded).")
+	reg.Help("engine_index_rebuilds_total", "Membership-driven M-tree rebuilds.")
+	reg.Help("engine_index_refresh_messages_total", "Messages spent on in-place index repair waves.")
+	eo.epoch = reg.Gauge("engine_epoch")
+	eo.clusters = reg.Gauge("engine_clusters")
+	eo.frag = reg.Gauge("engine_fragmentation")
+	eo.depth = reg.Gauge("engine_index_depth")
+	eo.readings = reg.Counter("engine_readings_total")
+	eo.reclusters = reg.Counter("engine_reclusters_total")
+	eo.rebuilds = reg.Counter("engine_index_rebuilds_total")
+	eo.refresh = reg.Counter("engine_index_refresh_messages_total")
+	return eo
+}
+
+// publish records the per-epoch gauges and the epoch trace event. Called
+// under the engine lock right after a snapshot swap.
+func (eo *engineObs) publish(epoch int64, clusters int, frag float64, depth int) {
+	eo.epoch.Set(float64(epoch))
+	eo.clusters.Set(float64(clusters))
+	eo.frag.Set(frag)
+	eo.depth.Set(float64(depth))
+	eo.tracer.Record(obs.Event{
+		Scope: "engine",
+		Kind:  "epoch",
+		Epoch: epoch,
+		Fields: map[string]float64{
+			"clusters":      float64(clusters),
+			"fragmentation": frag,
+			"index_depth":   float64(depth),
+		},
+	})
+}

@@ -34,6 +34,7 @@ import (
 	"elink/internal/elink"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/topology"
 	"elink/internal/update"
 )
@@ -95,6 +96,18 @@ type Config struct {
 	// before the engine bootstraps its first clustering (default
 	// 4*Order, minimum Order+1).
 	WarmupObs int
+	// Obs, when non-nil, receives the engine's live metrics: per-epoch
+	// gauges (engine_epoch, engine_clusters, engine_fragmentation,
+	// engine_index_depth), ingest/maintenance counters, query-latency
+	// histograms, and — through the same registry — the maintenance
+	// protocol's screening counters and every full (re-)clustering run's
+	// per-kind message counters. The registry is concurrency-safe; one
+	// registry may serve many engines if their metrics should aggregate.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives one structured event per published
+	// epoch plus the per-round simulator events of every full
+	// (re-)clustering run the policy triggers.
+	Trace *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -179,9 +192,24 @@ type IngestResult struct {
 
 // Stats exposes the engine's cumulative counters: messages by kind and
 // phase, screening telemetry, re-cluster triggers and query latencies.
+//
+// Snapshot semantics: Stats is a point-in-time copy, not a live view.
+// Engine.Stats assembles it in two phases — the ingest-side counters are
+// copied under the engine lock, then the query-side counters under the
+// separate query-telemetry lock — so the query counters can be slightly
+// newer than the ingest counters when both paths are running. Within
+// each group the values are mutually consistent. Epochs is the snapshot
+// epoch the ingest-side counters correspond to (it matches
+// Snapshot.Epoch taken at the same moment), and CollectedAt stamps when
+// the copy was taken, so scrapes can be ordered and correlated with
+// snapshots.
 type Stats struct {
-	// Epochs is the number of published snapshots.
+	// Epochs is the number of published snapshots; it equals the current
+	// Snapshot.Epoch and increases monotonically, so two Stats values can
+	// be ordered and diffed per epoch.
 	Epochs int64 `json:"epochs"`
+	// CollectedAt is the wall-clock time this copy was taken.
+	CollectedAt time.Time `json:"collectedAt"`
 	// Readings is the total measurements ingested.
 	Readings int64 `json:"readings"`
 	// Updates is the total feature updates through the maintainer.

@@ -304,6 +304,11 @@ func (s *server) trace(w http.ResponseWriter, r *http.Request) {
 		n = v
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	if n == 0 {
+		// Tracer.Last treats n<=0 as "everything buffered"; an explicit
+		// n=0 means none.
+		return
+	}
 	if err := s.tracer.WriteJSONL(w, n); err != nil {
 		log.Printf("elink-serve: write trace: %v", err)
 	}

@@ -195,6 +195,11 @@ func TestServeTraceEndpoint(t *testing.T) {
 	if got := strings.Count(w.Body.String(), "\n"); got != 1 {
 		t.Errorf("trace?n=1 returned %d lines", got)
 	}
+	// Explicit n=0 returns no events, not everything buffered.
+	w = do(t, mux, "GET", "/debug/trace?n=0", "")
+	if w.Code != http.StatusOK || w.Body.Len() != 0 {
+		t.Errorf("trace?n=0 = %d %q, want empty 200", w.Code, w.Body.String())
+	}
 	// Bad n is a JSON 400.
 	w = do(t, mux, "GET", "/debug/trace?n=bogus", "")
 	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), `"error"`) {

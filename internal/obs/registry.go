@@ -239,9 +239,11 @@ func (r *Registry) Help(name, text string) {
 	r.families[name] = &family{name: name, help: text, series: make(map[string]*series)}
 }
 
-// lookup finds or creates the series for name+labels, checking the kind.
+// lookup finds or creates the series for name+labels, checking the kind,
+// and allocates its typed handle (using buckets for histograms) while
+// still holding r.mu so concurrent first users agree on one handle.
 // An empty (created-by-Help-only) family adopts the first kind requested.
-func (r *Registry) lookup(name string, kind metricKind, labels []string) *series {
+func (r *Registry) lookup(name string, kind metricKind, buckets []float64, labels []string) *series {
 	if len(labels)%2 != 0 {
 		panic(fmt.Sprintf("obs: metric %q: odd label list %v", name, labels))
 	}
@@ -268,6 +270,20 @@ func (r *Registry) lookup(name string, kind metricKind, labels []string) *series
 		s = &series{labels: pairs}
 		f.series[key] = s
 	}
+	switch kind {
+	case kindCounter:
+		if s.ctr == nil {
+			s.ctr = &Counter{}
+		}
+	case kindGauge:
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+	case kindHistogram:
+		if s.hist == nil {
+			s.hist = newHistogram(buckets)
+		}
+	}
 	return s
 }
 
@@ -278,11 +294,7 @@ func (r *Registry) Counter(name string, labels ...string) *Counter {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, kindCounter, labels)
-	if s.ctr == nil {
-		s.ctr = &Counter{}
-	}
-	return s.ctr
+	return r.lookup(name, kindCounter, nil, labels).ctr
 }
 
 // Gauge returns the gauge for name+labels, creating it on first use.
@@ -290,11 +302,7 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, kindGauge, labels)
-	if s.gauge == nil {
-		s.gauge = &Gauge{}
-	}
-	return s.gauge
+	return r.lookup(name, kindGauge, nil, labels).gauge
 }
 
 // Histogram returns the histogram for name+labels, creating it with the
@@ -305,11 +313,7 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	if r == nil {
 		return nil
 	}
-	s := r.lookup(name, kindHistogram, labels)
-	if s.hist == nil {
-		s.hist = newHistogram(buckets)
-	}
-	return s.hist
+	return r.lookup(name, kindHistogram, buckets, labels).hist
 }
 
 // renderLabels formats sorted pairs as `k1="v1",k2="v2"` with Prometheus

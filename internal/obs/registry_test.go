@@ -51,6 +51,41 @@ func TestConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestConcurrentFirstUse releases all workers through a barrier so that
+// the very first lookups of each series race: every worker must get the
+// SAME handle, or some increments land on an orphaned duplicate and the
+// totals come up short. Regression test for handles being assigned after
+// lookup released the registry mutex.
+func TestConcurrentFirstUse(t *testing.T) {
+	const workers, rounds = 16, 50
+	for round := 0; round < rounds; round++ {
+		r := NewRegistry()
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				r.Counter("first_use_total", "kind", "x").Inc()
+				r.Gauge("first_use_gauge").Add(1)
+				r.Histogram("first_use_seconds", LatencyBuckets()).Observe(1e-3)
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if got := r.Counter("first_use_total", "kind", "x").Value(); got != workers {
+			t.Fatalf("round %d: counter = %d, want %d (lost a racing handle)", round, got, workers)
+		}
+		if got := r.Gauge("first_use_gauge").Value(); got != workers {
+			t.Fatalf("round %d: gauge = %v, want %d", round, got, workers)
+		}
+		if got := r.Histogram("first_use_seconds", LatencyBuckets()).Count(); got != workers {
+			t.Fatalf("round %d: histogram count = %d, want %d", round, got, workers)
+		}
+	}
+}
+
 func TestLabelIdentity(t *testing.T) {
 	r := NewRegistry()
 	a := r.Counter("m", "x", "1", "y", "2")

@@ -17,6 +17,7 @@ func describeQueries(reg *obs.Registry) {
 	reg.Help("query_messages_total", "Radio transmissions spent answering queries, by query type.")
 	reg.Help("query_latency_seconds", "Wall-clock latency answering a query against a snapshot.")
 	reg.Help("query_range_clusters_total", "Per-cluster pruning decisions of range queries.")
+	reg.Help("query_path_results_total", "Path queries answered, by whether a safe path was found.")
 }
 
 // ObserveRange records one completed range query: latency, message cost

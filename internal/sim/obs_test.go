@@ -75,6 +75,37 @@ func TestInstrumentMirrorsCounters(t *testing.T) {
 	}
 }
 
+// TestStepUntilFlushesTrailingRound pins that a network driven purely
+// via Inject/StepUntil (never Drain) still records the trailing round's
+// trace event, so per-round message sums match the network's accounting.
+func TestStepUntilFlushesTrailingRound(t *testing.T) {
+	g := topology.NewGrid(1, 3)
+	net := NewNetwork(g, nil, 1)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(128)
+	net.Instrument(reg, tr, "test")
+	net.SetAll(func(u topology.NodeID) Protocol {
+		return protoFunc{onMsg: func(ctx Context, m Message) {
+			if ctx.ID() != 2 {
+				ctx.Send(ctx.ID()+1, m.Kind, nil)
+			}
+		}}
+	})
+	net.Start()
+	net.Inject(0, "q", nil)
+	net.StepUntil(1) // injection (t=0) and first hop (t=1); t=2 stays queued
+
+	var traced int64
+	for _, e := range tr.Last(0) {
+		if e.Kind == "round" {
+			traced += e.Msgs["q"]
+		}
+	}
+	if want := net.Messages("q"); traced != want {
+		t.Errorf("per-round message sum after StepUntil = %d, want %d", traced, want)
+	}
+}
+
 // TestInstrumentNoSinksIsNoOp pins that Instrument(nil, nil, ...) leaves
 // the network un-instrumented (zero overhead on the hot path).
 func TestInstrumentNoSinksIsNoOp(t *testing.T) {

@@ -279,14 +279,20 @@ func (n *Network) Drain() float64 {
 }
 
 // StepUntil processes events with time <= t, leaving later events queued.
+// Like Drain it flushes the instrumented trailing round, so traces stay
+// complete for networks driven purely via Inject/StepUntil; a round that
+// straddles the t boundary therefore emits one partial event per step.
 func (n *Network) StepUntil(t float64) {
 	for {
 		e, ok := n.pq.Peek()
 		if !ok || e.time > t {
-			return
+			break
 		}
 		heap.Pop(&n.pq)
 		n.dispatch(e)
+	}
+	if n.obs != nil {
+		n.obs.flush()
 	}
 }
 

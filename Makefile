@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-obs examples clean
+.PHONY: check build vet test race bench bench-obs bench-routes examples clean
 
-## check: everything CI runs — build, vet, tests, then the race pass
-check: build vet test race
+## check: everything CI runs — build, vet, tests, the race pass, then the
+## routing throughput snapshot (BENCH_routes.json) so perf regressions on
+## the routed-message hot path are visible per commit
+check: build vet test race bench-routes
 
 build:
 	$(GO) build ./...
@@ -15,9 +17,9 @@ test:
 	$(GO) test ./...
 
 ## race: the concurrent subsystems (streaming engine, async runtime,
-## metrics registry/tracer) under the race detector
+## routing tables, metrics registry/tracer) under the race detector
 race:
-	$(GO) test -race ./internal/stream ./internal/sim ./internal/obs ./cmd/elink-serve .
+	$(GO) test -race ./internal/stream ./internal/sim ./internal/topology ./internal/obs ./cmd/elink-serve .
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -26,6 +28,11 @@ bench:
 ## instrumented, print the overhead, and dump the full metrics registry
 bench-obs:
 	$(GO) run ./cmd/elink-experiments -only obs -obs-out BENCH_obs.json
+
+## bench-routes: routed-message throughput (shared routing tables vs
+## per-message BFS; sync and async runtimes) dumped to BENCH_routes.json
+bench-routes:
+	$(GO) run ./cmd/elink-experiments -only routes -routes-out BENCH_routes.json
 
 ## examples: compile every example without running them
 examples:

@@ -42,6 +42,7 @@ var figures = []struct {
 	{"hotspot", experiments.HotspotSpread},
 	{"optimality", experiments.OptimalityGap},
 	{"obs", experiments.ObsReplay},
+	{"routes", experiments.RoutesBench},
 }
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 		readings = flag.Int("readings", 0, "override synthetic readings per node")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		obsOut   = flag.String("obs-out", "", "with the obs figure: write the instrumented run's full metrics registry to this file as JSON")
+		routeOut = flag.String("routes-out", "", "with the routes figure: write the routing benchmark results to this file as JSON")
 	)
 	flag.Parse()
 
@@ -101,6 +103,16 @@ func main() {
 				}
 				defer out.Close()
 				return experiments.ObsReplayTo(sc, out)
+			}
+		}
+		if f.name == "routes" && *routeOut != "" {
+			run = func(sc experiments.Scale) (*experiments.Table, error) {
+				out, err := os.Create(*routeOut)
+				if err != nil {
+					return nil, err
+				}
+				defer out.Close()
+				return experiments.RoutesBenchTo(sc, out)
 			}
 		}
 		tbl, err := run(sc)

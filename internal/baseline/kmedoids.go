@@ -54,6 +54,9 @@ func KMedoids(g *topology.Graph, cfg KMedoidsConfig) (*cluster.Result, error) {
 		cfg.MaxK = n
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// Refresh charging routes every node to its medoid; rooting the
+	// shared tables at the k medoids replaces N BFS runs per round with k.
+	routes := g.Routes()
 	stats := cluster.Stats{Breakdown: make(map[string]int64)}
 	charge := func(kind string, cost int64) {
 		stats.Breakdown[kind] += cost
@@ -81,7 +84,7 @@ func KMedoids(g *topology.Graph, cfg KMedoidsConfig) (*cluster.Result, error) {
 			}
 			// Members ship features to their medoid for the refresh.
 			for u := 0; u < n; u++ {
-				charge("refresh", int64(g.HopDistance(topology.NodeID(u), topology.NodeID(medoids[assign[u]]))))
+				charge("refresh", int64(routes.Dist(topology.NodeID(u), topology.NodeID(medoids[assign[u]]))))
 			}
 			if !refreshMedoids(cfg.Features, cfg.Metric, assign, medoids) && !changed {
 				break

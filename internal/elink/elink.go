@@ -139,6 +139,14 @@ func (c *Config) validate(g *topology.Graph) error {
 	if c.Loss < 0 || c.Loss >= 1 {
 		return fmt.Errorf("elink: loss %v out of [0,1)", c.Loss)
 	}
+	if c.Delay != nil {
+		// Reject inverted/negative delay bounds here with an error; the
+		// simulator would otherwise panic before scheduling events in
+		// the past (sim.ValidateDelay).
+		if err := sim.ValidateDelay(c.Delay); err != nil {
+			return fmt.Errorf("elink: %w", err)
+		}
+	}
 	if c.Mode == Explicit && !g.Connected() {
 		// The synchronization wave routes between quadtree cell leaders;
 		// a partitioned network cannot deliver it. (Implicit mode works

@@ -260,6 +260,22 @@ func TestRandomTopologiesAlwaysValid(t *testing.T) {
 	}
 }
 
+func TestRejectsInvalidDelayBounds(t *testing.T) {
+	g := topology.NewGrid(2, 2)
+	feats := constFeats(g.N(), 0)
+	for _, d := range []sim.UniformDelay{
+		{Min: 2, Max: 1},  // inverted: would draw negative delays
+		{Min: -1, Max: 1}, // negative: events scheduled in the past
+	} {
+		_, err := Run(g, Config{Delta: 1, Metric: metric.Scalar{}, Features: feats, Delay: d})
+		if err == nil {
+			t.Errorf("Run accepted invalid delay bounds %+v", d)
+		} else if !strings.Contains(err.Error(), "UniformDelay") {
+			t.Errorf("error %q does not name the delay bounds", err)
+		}
+	}
+}
+
 func TestExplicitWithAsyncDelaysStillValid(t *testing.T) {
 	g := topology.NewGrid(7, 7)
 	rng := rand.New(rand.NewSource(21))

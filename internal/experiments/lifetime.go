@@ -57,8 +57,9 @@ func RepresentativeSampling(sc Scale) (*Table, error) {
 			return nil, err
 		}
 		reprTx := make([]int64, g.N())
+		routes := g.Routes() // one table rooted at the base serves every report path
 		for _, root := range res.Clustering.Roots {
-			path := g.ShortestPath(root, base)
+			path := routes.Path(root, base)
 			for i := 0; i+1 < len(path); i++ {
 				reprTx[path[i]]++
 			}
@@ -106,11 +107,12 @@ func HotspotSpread(sc Scale) (*Table, error) {
 	// Centralized: each node ships 4 coefficients to base; charge every
 	// hop to its transmitting node.
 	centralTx := make([]int64, g.N())
+	routes := g.Routes() // one table rooted at the base serves every shipping path
 	for u := 0; u < g.N(); u++ {
 		if topology.NodeID(u) == base {
 			continue
 		}
-		path := g.ShortestPath(topology.NodeID(u), base)
+		path := routes.Path(topology.NodeID(u), base)
 		for i := 0; i+1 < len(path); i++ {
 			centralTx[path[i]] += 4
 		}

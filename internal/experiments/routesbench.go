@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"elink/internal/sim"
+	"elink/internal/topology"
+)
+
+// routesBenchGrid is the benchmark deployment: a grid (the paper's Tao
+// layout) above the 1000-node line where per-message BFS routing is
+// clearly separated from table-served routing.
+const (
+	routesBenchRows = 32
+	routesBenchCols = 32
+)
+
+// routesBurstProtocol routes a burst of messages to a fixed leader-like
+// destination set — the traffic shape clustering protocols produce.
+type routesBurstProtocol struct {
+	dests []topology.NodeID
+	burst int
+}
+
+func (p routesBurstProtocol) Init(ctx sim.Context) {
+	for i := 0; i < p.burst; i++ {
+		ctx.Route(p.dests[(int(ctx.ID())+i)%len(p.dests)], "data", nil)
+	}
+}
+func (routesBurstProtocol) OnMessage(sim.Context, sim.Message) {}
+func (routesBurstProtocol) OnTimer(sim.Context, string)        {}
+
+// routesBenchResult is the machine-readable BENCH_routes.json payload;
+// the Makefile's bench-routes target tracks it across commits so routing
+// throughput regressions show up in the perf trajectory.
+type routesBenchResult struct {
+	Grid           string  `json:"grid"`
+	Nodes          int     `json:"nodes"`
+	PathCachedNs   float64 `json:"path_cached_ns_per_msg"`
+	PathBFSNs      float64 `json:"path_bfs_ns_per_msg"`
+	PathSpeedup    float64 `json:"path_speedup"`
+	SyncRoutedNs   float64 `json:"sync_routed_ns_per_msg"`
+	AsyncRoutedNs  float64 `json:"async_routed_ns_per_msg"`
+	MessagesRouted int64   `json:"messages_routed"`
+}
+
+// RoutesBench measures routed-message cost on a 32x32 grid four ways:
+// shortest-path service from the shared routing tables vs one BFS per
+// message (the implementation topology.Routes replaced), and the routed
+// throughput of both simulator runtimes end to end. See also
+// BenchmarkRouting in internal/sim for the go-bench version.
+func RoutesBench(sc Scale) (*Table, error) { return RoutesBenchTo(sc, nil) }
+
+// RoutesBenchTo is RoutesBench with an optional writer receiving the
+// results as JSON (nil skips the dump).
+func RoutesBenchTo(sc Scale, dump io.Writer) (*Table, error) {
+	g := topology.NewGrid(routesBenchRows, routesBenchCols)
+	n := g.N()
+	srcs := spreadNodes(g, 64)
+	dests := spreadNodes(g, 8)
+
+	// Path service: shared routing tables (steady state) ...
+	rts := topology.NewRoutes(g, 0)
+	const pathMsgs = 20000
+	start := time.Now()
+	var hops int64
+	for i := 0; i < pathMsgs; i++ {
+		t := rts.Table(dests[i%len(dests)])
+		src := srcs[i%len(srcs)]
+		for cur := src; cur != t.Root(); cur = t.Next(cur) {
+			hops++
+		}
+	}
+	cachedNs := float64(time.Since(start).Nanoseconds()) / pathMsgs
+
+	// ... vs one full BFS per routed message.
+	const bfsMsgs = 2000
+	start = time.Now()
+	for i := 0; i < bfsMsgs; i++ {
+		d := bfsFrom(g, dests[i%len(dests)])
+		src := srcs[i%len(srcs)]
+		for cur := src; d[cur] > 0; {
+			var next topology.NodeID = -1
+			for _, w := range g.Adj[cur] {
+				if d[w] == d[cur]-1 {
+					next = w
+					break
+				}
+			}
+			cur = next
+			hops++
+		}
+	}
+	bfsNs := float64(time.Since(start).Nanoseconds()) / bfsMsgs
+
+	// Both runtimes end to end: every node routes a burst.
+	const burst = 4
+	factory := func(topology.NodeID) sim.Protocol {
+		return routesBurstProtocol{dests: dests, burst: burst}
+	}
+	net := sim.NewNetwork(g, nil, sc.Seed)
+	net.SetAll(factory)
+	start = time.Now()
+	net.Run()
+	syncNs := float64(time.Since(start).Nanoseconds()) / float64(n*burst)
+
+	an := sim.NewAsyncNetwork(g, sc.Seed)
+	an.SetAll(factory)
+	start = time.Now()
+	an.Run()
+	asyncNs := float64(time.Since(start).Nanoseconds()) / float64(n*burst)
+
+	if s, a := net.Messages("data"), an.Messages("data"); s != a {
+		return nil, fmt.Errorf("experiments: routed accounting diverged (sync %d, async %d)", s, a)
+	}
+
+	res := routesBenchResult{
+		Grid:           fmt.Sprintf("%dx%d", routesBenchRows, routesBenchCols),
+		Nodes:          n,
+		PathCachedNs:   cachedNs,
+		PathBFSNs:      bfsNs,
+		PathSpeedup:    bfsNs / cachedNs,
+		SyncRoutedNs:   syncNs,
+		AsyncRoutedNs:  asyncNs,
+		MessagesRouted: net.Messages("data"),
+	}
+
+	t := &Table{
+		Title:   "Routes: routed-message cost, shared routing tables vs per-message BFS",
+		XLabel:  "variant", // 0 path-cached, 1 path-bfs, 2 sync-runtime, 3 async-runtime
+		Columns: []string{"ns-per-msg"},
+		Notes: []string{
+			fmt.Sprintf("grid %s (%d nodes), %d leader destinations", res.Grid, n, len(dests)),
+			fmt.Sprintf("path service speedup: %.1fx (cached %.0f ns vs BFS %.0f ns per message)",
+				res.PathSpeedup, cachedNs, bfsNs),
+			fmt.Sprintf("runtime routed throughput: sync %.0f ns/msg, async %.0f ns/msg over %d routed messages",
+				syncNs, asyncNs, res.MessagesRouted),
+		},
+	}
+	t.AddRow(0, cachedNs)
+	t.AddRow(1, bfsNs)
+	t.AddRow(2, syncNs)
+	t.AddRow(3, asyncNs)
+
+	if dump != nil {
+		enc := json.NewEncoder(dump)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return nil, fmt.Errorf("experiments: dump routes bench: %w", err)
+		}
+	}
+	return t, nil
+}
+
+// spreadNodes picks k node ids spread evenly across the id space.
+func spreadNodes(g *topology.Graph, k int) []topology.NodeID {
+	out := make([]topology.NodeID, k)
+	for i := range out {
+		out[i] = topology.NodeID((i * g.N()) / k)
+	}
+	return out
+}
+
+// bfsFrom is the uncached baseline's per-message BFS field.
+func bfsFrom(g *topology.Graph, src topology.NodeID) []int {
+	d := make([]int, g.N())
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	queue := []topology.NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if d[v] < 0 {
+				d[v] = d[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return d
+}

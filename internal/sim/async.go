@@ -32,9 +32,10 @@ type AsyncNetwork struct {
 	pending atomic.Int64 // queued + in-flight handler executions
 	quiet   chan struct{}
 
-	mu     sync.Mutex
-	counts map[string]int64
-	routes *topology.Graph // routing views are mutex-protected
+	mu      sync.Mutex
+	counts  map[string]int64
+	perNode []int64          // per-sender transmissions; atomic access
+	routes  *topology.Routes // shared shortest-hop tables; lookups run lock-free
 
 	clockBits atomic.Uint64 // virtual time as float bits
 
@@ -126,7 +127,8 @@ func NewAsyncNetwork(g *topology.Graph, seed int64) *AsyncNetwork {
 		boxes:     make([]*mailbox, n),
 		rngs:      make([]*rand.Rand, n),
 		counts:    make(map[string]int64),
-		routes:    g,
+		perNode:   make([]int64, n),
+		routes:    g.Routes(),
 		quiet:     make(chan struct{}, 1),
 	}
 	for i := 0; i < n; i++ {
@@ -171,6 +173,17 @@ func (an *AsyncNetwork) MessageBreakdown() map[string]int64 {
 	out := make(map[string]int64, len(an.counts))
 	for k, v := range an.counts {
 		out[k] = v
+	}
+	return out
+}
+
+// TxPerNode returns, for every node, how many radio transmissions it has
+// performed, matching the event-driven Network's attribution exactly:
+// each hop of a routed message is charged to the node that forwards it.
+func (an *AsyncNetwork) TxPerNode() []int64 {
+	out := make([]int64, len(an.perNode))
+	for i := range an.perNode {
+		out[i] = atomic.LoadInt64(&an.perNode[i])
 	}
 	return out
 }
@@ -295,6 +308,7 @@ func (c *asyncCtx) Send(to topology.NodeID, kind string, payload any) {
 		an.mu.Lock()
 		an.counts[kind]++
 		an.mu.Unlock()
+		atomic.AddInt64(&an.perNode[c.id], 1)
 	}
 	an.pending.Add(1)
 	an.boxes[to].push(asyncEvent{msg: Message{From: c.id, To: to, Kind: kind, Payload: payload, Hops: hopCost(c.id, to)}})
@@ -304,14 +318,21 @@ func (c *asyncCtx) Route(to topology.NodeID, kind string, payload any) {
 	an := c.net
 	hops := 0
 	if to != c.id {
-		an.mu.Lock()
-		hops = an.routes.HopDistance(c.id, to)
+		// The routing lookup runs outside the accounting mutex: tables
+		// are concurrency-safe and built at most once per destination, so
+		// goroutines no longer serialize a BFS under the global lock.
+		rt := an.routes.Table(to)
+		hops = rt.Dist(c.id)
 		if hops < 0 {
-			an.mu.Unlock()
 			panic(fmt.Sprintf("sim: async Route from %d to unreachable %d", c.id, to))
 		}
+		an.mu.Lock()
 		an.counts[kind] += int64(hops)
 		an.mu.Unlock()
+		// Per-hop sender attribution, identical to Network.Route's.
+		for cur := c.id; cur != to; cur = rt.Next(cur) {
+			atomic.AddInt64(&an.perNode[cur], 1)
+		}
 	}
 	an.pending.Add(1)
 	an.boxes[to].push(asyncEvent{msg: Message{From: c.id, To: to, Kind: kind, Payload: payload, Hops: hops}})

@@ -86,6 +86,27 @@ func (d UniformDelay) HopDelay(rng *rand.Rand, _, _ topology.NodeID) float64 {
 	return d.Min + rng.Float64()*(d.Max-d.Min)
 }
 
+// Validate rejects bounds that would schedule deliveries in the past and
+// corrupt the event clock: a negative Min or an inverted Min > Max.
+func (d UniformDelay) Validate() error {
+	if d.Min < 0 {
+		return fmt.Errorf("sim: UniformDelay.Min %v is negative; hop delays must be >= 0", d.Min)
+	}
+	if d.Max < d.Min {
+		return fmt.Errorf("sim: UniformDelay bounds inverted (Min %v > Max %v)", d.Min, d.Max)
+	}
+	return nil
+}
+
+// ValidateDelay checks a delay model's parameters when it exposes a
+// Validate method (UniformDelay does); other models validate nothing.
+func ValidateDelay(d DelayModel) error {
+	if v, ok := d.(interface{ Validate() error }); ok {
+		return v.Validate()
+	}
+	return nil
+}
+
 type eventKind uint8
 
 const (
@@ -125,6 +146,7 @@ func (h eventHeap) Peek() (event, bool) {
 type Network struct {
 	Graph *topology.Graph
 
+	routes    *topology.Routes // shared shortest-hop tables (no per-call BFS)
 	protocols []Protocol
 	delay     DelayModel
 	rng       *rand.Rand
@@ -146,13 +168,20 @@ type Network struct {
 }
 
 // NewNetwork builds an executor over g. delay defaults to UnitDelay when
-// nil. The seed makes randomized delay models reproducible.
+// nil. The seed makes randomized delay models reproducible. Invalid delay
+// parameters (e.g. an inverted UniformDelay) panic here, before any event
+// can be scheduled in the past; library entry points validate the same
+// bounds and return an error instead (elink.Config).
 func NewNetwork(g *topology.Graph, delay DelayModel, seed int64) *Network {
 	if delay == nil {
 		delay = UnitDelay{}
 	}
+	if err := ValidateDelay(delay); err != nil {
+		panic(err.Error())
+	}
 	return &Network{
 		Graph:     g,
+		routes:    g.Routes(),
 		protocols: make([]Protocol, g.N()),
 		delay:     delay,
 		rng:       rand.New(rand.NewSource(seed)),
@@ -206,10 +235,15 @@ func (n *Network) Kinds() []string {
 	return ks
 }
 
-// ResetCounters zeroes the message accounting without touching protocol
-// state or pending events; experiments use it to separate phases.
+// ResetCounters zeroes the message accounting — per-kind counts, the
+// per-sender attribution behind TxPerNode, delivery and drop totals —
+// without touching protocol state or pending events; experiments use it
+// to separate phases.
 func (n *Network) ResetCounters() {
 	n.counts = make(map[string]int64)
+	for i := range n.perNode {
+		n.perNode[i] = 0
+	}
 	n.delivered = 0
 	n.dropped = 0
 }
@@ -381,14 +415,18 @@ func (c *nodeCtx) Route(to topology.NodeID, kind string, payload any) {
 			msg: Message{From: c.id, To: to, Kind: kind, Payload: payload}})
 		return
 	}
-	path := n.Graph.ShortestPath(c.id, to)
-	if path == nil {
+	// One table lookup, then an O(path) parent-chain walk: no BFS, no
+	// neighbour scans, no path allocation on the per-message hot path.
+	rt := n.routes.Table(to)
+	hops := rt.Dist(c.id)
+	if hops < 0 {
 		panic(fmt.Sprintf("sim: Route from %d to unreachable %d", c.id, to))
 	}
 	var delay float64
-	for i := 0; i+1 < len(path); i++ {
+	for cur := c.id; cur != to; {
+		next := rt.Next(cur)
 		n.counts[kind]++
-		n.perNode[path[i]]++
+		n.perNode[cur]++
 		if n.obs != nil {
 			n.obs.count(kind, 1)
 		}
@@ -398,10 +436,11 @@ func (c *nodeCtx) Route(to topology.NodeID, kind string, payload any) {
 			n.obs.droppedInc()
 			return
 		}
-		delay += n.delay.HopDelay(n.rng, path[i], path[i+1])
+		delay += n.delay.HopDelay(n.rng, cur, next)
+		cur = next
 	}
 	n.push(event{time: n.now + delay, kind: evMessage, node: to,
-		msg: Message{From: c.id, To: to, Kind: kind, Payload: payload, Hops: len(path) - 1}})
+		msg: Message{From: c.id, To: to, Kind: kind, Payload: payload, Hops: hops}})
 }
 
 func (c *nodeCtx) SetTimer(delay float64, key string) {

@@ -176,18 +176,50 @@ func TestUniformDelayWithinBounds(t *testing.T) {
 }
 
 func TestResetCounters(t *testing.T) {
-	g := topology.NewGrid(1, 2)
+	g := topology.NewGrid(1, 4)
 	net := NewNetwork(g, nil, 1)
-	net.SetProtocol(0, protoFunc{init: func(ctx Context) { ctx.Send(1, "x", nil) }})
-	net.SetProtocol(1, protoFunc{})
+	net.SetLoss(0.5)
+	net.SetProtocol(0, protoFunc{init: func(ctx Context) {
+		for i := 0; i < 20; i++ {
+			ctx.Send(1, "x", nil)
+			ctx.Route(3, "far", nil)
+		}
+	}})
+	for u := 1; u < 4; u++ {
+		net.SetProtocol(topology.NodeID(u), protoFunc{})
+	}
 	net.Run()
-	if net.TotalMessages() != 1 {
-		t.Fatal("expected one message")
+	if net.TotalMessages() == 0 {
+		t.Fatal("expected messages")
+	}
+	if net.Dropped() == 0 {
+		t.Fatal("expected drops at 50% loss")
+	}
+	if maxTx(net.TxPerNode()) == 0 {
+		t.Fatal("expected per-node attribution")
 	}
 	net.ResetCounters()
 	if net.TotalMessages() != 0 {
 		t.Error("ResetCounters did not zero the counts")
 	}
+	if net.Dropped() != 0 {
+		t.Error("ResetCounters did not zero Dropped")
+	}
+	for u, tx := range net.TxPerNode() {
+		if tx != 0 {
+			t.Errorf("ResetCounters left TxPerNode[%d] = %d; energy metrics would mix phases", u, tx)
+		}
+	}
+}
+
+func maxTx(tx []int64) int64 {
+	var m int64
+	for _, v := range tx {
+		if v > m {
+			m = v
+		}
+	}
+	return m
 }
 
 func TestInjectAndStepUntil(t *testing.T) {

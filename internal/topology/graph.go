@@ -27,15 +27,16 @@ func (p Point) Dist(q Point) float64 {
 }
 
 // Graph is an undirected communication graph over positioned nodes.
-// Topology is fixed after construction; the lazy routing cache is
-// mutex-protected, so a built Graph is safe for concurrent readers
-// (the streaming engine serves queries while ingest computes routes).
+// Topology is fixed after construction; the lazy routing cache is a
+// concurrency-safe Routes instance, so a built Graph is safe for
+// concurrent readers (the streaming engine serves queries while ingest
+// computes routes, and async simulator nodes share one table set).
 type Graph struct {
 	Pos []Point
 	Adj [][]NodeID // sorted neighbour lists
 
-	hopsMu sync.Mutex
-	hops   map[NodeID][]int // lazy per-source BFS hop distances
+	routesMu sync.Mutex
+	routes   *Routes // lazy shared routing tables (see Routes)
 }
 
 // NewGraph returns an edgeless graph over the given positions.
@@ -54,9 +55,9 @@ func (g *Graph) AddEdge(u, v NodeID) {
 	}
 	g.addDirected(u, v)
 	g.addDirected(v, u)
-	g.hopsMu.Lock()
-	g.hops = nil
-	g.hopsMu.Unlock()
+	g.routesMu.Lock()
+	g.routes = nil // routing tables are stale; rebuilt lazily on next use
+	g.routesMu.Unlock()
 }
 
 func (g *Graph) addDirected(u, v NodeID) {
@@ -109,20 +110,25 @@ func (g *Graph) AvgDegree() float64 {
 	return 2 * float64(g.Edges()) / float64(g.N())
 }
 
+// Routes returns the graph's shared routing-table cache, creating it on
+// first use. Every subsystem routing over the same graph (both simulator
+// runtimes, baselines, the index backbone, experiments) shares this one
+// instance, so each BFS field is built at most once per source. AddEdge
+// drops the instance; callers must not retain it across topology edits.
+func (g *Graph) Routes() *Routes {
+	g.routesMu.Lock()
+	defer g.routesMu.Unlock()
+	if g.routes == nil {
+		g.routes = NewRoutes(g, 0)
+	}
+	return g.routes
+}
+
 // HopDistances returns BFS hop counts from src to every node
-// (-1 when unreachable). Results are cached per source.
+// (-1 when unreachable). Results are cached per source in the shared
+// routing tables; the caller must not modify the returned slice.
 func (g *Graph) HopDistances(src NodeID) []int {
-	g.hopsMu.Lock()
-	defer g.hopsMu.Unlock()
-	if g.hops == nil {
-		g.hops = make(map[NodeID][]int)
-	}
-	if d, ok := g.hops[src]; ok {
-		return d
-	}
-	d := g.bfs(src)
-	g.hops[src] = d
-	return d
+	return g.Routes().Distances(src)
 }
 
 func (g *Graph) bfs(src NodeID) []int {
@@ -148,34 +154,14 @@ func (g *Graph) bfs(src NodeID) []int {
 // HopDistance returns the shortest hop count between u and v, or -1 when
 // disconnected.
 func (g *Graph) HopDistance(u, v NodeID) int {
-	return g.HopDistances(u)[v]
+	return g.Routes().Dist(u, v)
 }
 
 // ShortestPath returns a shortest hop path from u to v inclusive, or nil
 // when disconnected. Ties are broken toward smaller node ids, making the
-// route deterministic.
+// route deterministic. Paths are served from the shared routing tables.
 func (g *Graph) ShortestPath(u, v NodeID) []NodeID {
-	d := g.HopDistances(v) // distances toward the destination
-	if d[u] < 0 {
-		return nil
-	}
-	path := []NodeID{u}
-	cur := u
-	for cur != v {
-		var next NodeID = -1
-		for _, w := range g.Adj[cur] {
-			if d[w] == d[cur]-1 {
-				next = w
-				break // neighbour lists are sorted, so this is the smallest id
-			}
-		}
-		if next < 0 {
-			return nil // should not happen on a consistent BFS field
-		}
-		path = append(path, next)
-		cur = next
-	}
-	return path
+	return g.Routes().Path(u, v)
 }
 
 // Connected reports whether the whole graph is one component.

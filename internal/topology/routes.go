@@ -1,0 +1,216 @@
+package topology
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultRouteTables bounds the graph-attached routing cache: at most this
+// many per-root tables are kept, evicting the least recently used. Each
+// table costs ~16 bytes per node, so the default caps the cache at
+// 256·16·N bytes (~10 MB on the paper's 2500-node deployments).
+const DefaultRouteTables = 256
+
+// Routes is a concurrency-safe shortest-hop routing table over an
+// immutable graph. For each requested root it lazily runs one BFS,
+// storing the hop-distance and deterministic-parent arrays; every later
+// Dist/NextHop lookup is O(1) and Path is O(path length). Tables are
+// kept under an LRU bound so very large deployments cannot accumulate
+// O(N²) routing state.
+//
+// Determinism: Path(u, v) is byte-identical to Graph.ShortestPath's
+// smallest-id tie-breaking — the parent of u in the table rooted at v is
+// u's smallest-id neighbour one hop closer to v — so message counts and
+// per-hop attribution are unchanged by routing through the cache.
+//
+// Concurrency: the table registry is guarded by an RWMutex held only for
+// map access; BFS builds run outside it (at most once per root, via the
+// table's sync.Once), so concurrent async nodes never serialize on a
+// build and built tables are immutable shared state.
+type Routes struct {
+	g     *Graph
+	max   int
+	clock atomic.Uint64 // recency stamps for LRU eviction
+
+	mu     sync.RWMutex
+	tables map[NodeID]*RouteTable
+}
+
+// NewRoutes builds an empty routing cache over g holding at most
+// maxTables per-root tables (maxTables <= 0 means DefaultRouteTables).
+// The cache snapshots g's topology lazily: it must not be used across
+// AddEdge calls (graphs in this repository are immutable once built; the
+// graph-attached instance from Graph.Routes is dropped on AddEdge).
+func NewRoutes(g *Graph, maxTables int) *Routes {
+	if maxTables <= 0 {
+		maxTables = DefaultRouteTables
+	}
+	return &Routes{g: g, max: maxTables, tables: make(map[NodeID]*RouteTable)}
+}
+
+// RouteTable is the BFS field of one root: hop distances from every node
+// to the root and each node's deterministic next hop toward it. A built
+// table is immutable, so holders may keep using it after eviction.
+type RouteTable struct {
+	g    *Graph
+	root NodeID
+	used atomic.Uint64
+	once sync.Once
+
+	dist   []int    // hops to root; -1 when unreachable
+	parent []NodeID // next hop toward root; root at the root, -1 unreachable
+}
+
+func (t *RouteTable) build() {
+	g, root := t.g, t.root
+	dist := g.bfs(root)
+	parent := make([]NodeID, g.N())
+	for u := range parent {
+		parent[u] = -1
+	}
+	parent[root] = root
+	for u := range parent {
+		d := dist[u]
+		if d <= 0 {
+			continue // root or unreachable
+		}
+		// Neighbour lists are sorted, so the first neighbour one hop
+		// closer is the smallest id — ShortestPath's exact tie-break.
+		for _, w := range g.Adj[u] {
+			if dist[w] == d-1 {
+				parent[u] = w
+				break
+			}
+		}
+	}
+	t.dist, t.parent = dist, parent
+}
+
+// Root returns the table's BFS root (the routing destination it serves).
+func (t *RouteTable) Root() NodeID { return t.root }
+
+// Dist returns the hop distance from u to the root (-1 if unreachable).
+func (t *RouteTable) Dist(u NodeID) int { return t.dist[u] }
+
+// Next returns u's next hop toward the root: the smallest-id neighbour
+// one hop closer. It returns the root at the root and -1 when u cannot
+// reach it.
+func (t *RouteTable) Next(u NodeID) NodeID { return t.parent[u] }
+
+// Distances returns the full hop-distance array from the root. The
+// caller must not modify it.
+func (t *RouteTable) Distances() []int { return t.dist }
+
+// Table returns the built routing table rooted at root, constructing it
+// on first use. The BFS runs outside the registry lock; concurrent
+// callers for the same root share one build.
+func (r *Routes) Table(root NodeID) *RouteTable {
+	r.mu.RLock()
+	t := r.tables[root]
+	r.mu.RUnlock()
+	if t == nil {
+		t = r.insert(root)
+	}
+	t.used.Store(r.clock.Add(1))
+	t.once.Do(t.build)
+	return t
+}
+
+// cached returns the table for root only if it already exists.
+func (r *Routes) cached(root NodeID) *RouteTable {
+	r.mu.RLock()
+	t := r.tables[root]
+	r.mu.RUnlock()
+	if t != nil {
+		t.used.Store(r.clock.Add(1))
+		t.once.Do(t.build)
+	}
+	return t
+}
+
+// insert registers a table entry for root, evicting the least recently
+// used entry when the bound is exceeded. Eviction only unlinks the table
+// from the registry; existing holders keep a valid immutable table.
+func (r *Routes) insert(root NodeID) *RouteTable {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if t := r.tables[root]; t != nil {
+		return t
+	}
+	t := &RouteTable{g: r.g, root: root}
+	r.tables[root] = t
+	for len(r.tables) > r.max {
+		var victim NodeID = -1
+		oldest := ^uint64(0)
+		for id, cand := range r.tables {
+			if id == root {
+				continue
+			}
+			if u := cand.used.Load(); u < oldest {
+				victim, oldest = id, u
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		delete(r.tables, victim)
+	}
+	return t
+}
+
+// Cached returns how many per-root tables the registry currently holds.
+func (r *Routes) Cached() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.tables)
+}
+
+// Dist returns the shortest hop count between u and v (-1 when
+// disconnected). It prefers whichever endpoint already has a table
+// (distances are symmetric on an undirected graph) and otherwise builds
+// the table rooted at v, the endpoint routed workloads repeat.
+func (r *Routes) Dist(u, v NodeID) int {
+	if u == v {
+		return 0
+	}
+	if t := r.cached(v); t != nil {
+		return t.Dist(u)
+	}
+	if t := r.cached(u); t != nil {
+		return t.Dist(v)
+	}
+	return r.Table(v).Dist(u)
+}
+
+// Path returns the shortest hop path from u to v inclusive, or nil when
+// disconnected, with ties broken toward smaller node ids — byte-identical
+// to Graph.ShortestPath.
+func (r *Routes) Path(u, v NodeID) []NodeID {
+	t := r.Table(v)
+	d := t.Dist(u)
+	if d < 0 {
+		return nil
+	}
+	path := make([]NodeID, 0, d+1)
+	for cur := u; ; cur = t.Next(cur) {
+		path = append(path, cur)
+		if cur == v {
+			return path
+		}
+	}
+}
+
+// NextHop returns u's first hop on the shortest path toward v (u itself
+// when u == v, -1 when v is unreachable).
+func (r *Routes) NextHop(u, v NodeID) NodeID {
+	if u == v {
+		return u
+	}
+	return r.Table(v).Next(u)
+}
+
+// Distances returns hop distances from root to every node (-1 when
+// unreachable). The caller must not modify the returned slice.
+func (r *Routes) Distances(root NodeID) []int {
+	return r.Table(root).Distances()
+}

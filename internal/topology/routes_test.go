@@ -1,0 +1,223 @@
+package topology
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// refHopDistances is an independent reference BFS (not the Routes code
+// under test) matching the documented semantics of HopDistances.
+func refHopDistances(g *Graph, src NodeID) []int {
+	d := make([]int, g.N())
+	for i := range d {
+		d[i] = -1
+	}
+	d[src] = 0
+	queue := []NodeID{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Adj[u] {
+			if d[v] < 0 {
+				d[v] = d[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return d
+}
+
+// refShortestPath replicates the original Graph.ShortestPath walk:
+// distances toward the destination, smallest-id tie-breaking.
+func refShortestPath(g *Graph, u, v NodeID) []NodeID {
+	d := refHopDistances(g, v)
+	if d[u] < 0 {
+		return nil
+	}
+	path := []NodeID{u}
+	cur := u
+	for cur != v {
+		var next NodeID = -1
+		for _, w := range g.Adj[cur] {
+			if d[w] == d[cur]-1 {
+				next = w
+				break
+			}
+		}
+		if next < 0 {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// randomGraph builds a random graph over n nodes with edge probability p.
+// It is intentionally NOT stitched, so it can be disconnected.
+func randomGraph(n int, p float64, rng *rand.Rand) *Graph {
+	pos := make([]Point, n)
+	for i := range pos {
+		pos[i] = Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}
+	}
+	g := NewGraph(pos)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				g.AddEdge(NodeID(i), NodeID(j))
+			}
+		}
+	}
+	return g
+}
+
+func pathsEqual(a, b []NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRoutesMatchReference checks Routes.Dist/Path/NextHop against the
+// reference BFS on random graphs, including disconnected ones, for every
+// node pair — the exact-equivalence contract the simulator's accounting
+// rests on.
+func TestRoutesMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cases := []*Graph{
+		NewGrid(5, 7),
+		randomGraph(40, 0.08, rng), // sparse, usually disconnected
+		randomGraph(30, 0.02, rng), // very sparse, many components
+		randomGraph(25, 0.3, rng),  // dense
+	}
+	for gi, g := range cases {
+		rts := NewRoutes(g, 0)
+		for u := 0; u < g.N(); u++ {
+			for v := 0; v < g.N(); v++ {
+				uu, vv := NodeID(u), NodeID(v)
+				wantD := refHopDistances(g, uu)[vv]
+				if got := rts.Dist(uu, vv); got != wantD {
+					t.Fatalf("graph %d: Dist(%d,%d) = %d, want %d", gi, u, v, got, wantD)
+				}
+				wantP := refShortestPath(g, uu, vv)
+				if got := rts.Path(uu, vv); !pathsEqual(got, wantP) {
+					t.Fatalf("graph %d: Path(%d,%d) = %v, want %v", gi, u, v, got, wantP)
+				}
+				switch hop := rts.NextHop(uu, vv); {
+				case u == v:
+					if hop != uu {
+						t.Fatalf("graph %d: NextHop(%d,%d) = %d, want %d", gi, u, v, hop, u)
+					}
+				case wantD < 0:
+					if hop != -1 {
+						t.Fatalf("graph %d: NextHop(%d,%d) = %d, want -1 (unreachable)", gi, u, v, hop)
+					}
+				default:
+					if hop != wantP[1] {
+						t.Fatalf("graph %d: NextHop(%d,%d) = %d, want %d", gi, u, v, hop, wantP[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGraphDelegatesToRoutes pins the Graph-level API to the same
+// reference now that it is served by the shared routing tables.
+func TestGraphDelegatesToRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(30, 0.1, rng)
+	for u := 0; u < g.N(); u++ {
+		wantD := refHopDistances(g, NodeID(u))
+		gotD := g.HopDistances(NodeID(u))
+		for v := range wantD {
+			if gotD[v] != wantD[v] {
+				t.Fatalf("HopDistances(%d)[%d] = %d, want %d", u, v, gotD[v], wantD[v])
+			}
+			if hd := g.HopDistance(NodeID(u), NodeID(v)); hd != wantD[v] {
+				t.Fatalf("HopDistance(%d,%d) = %d, want %d", u, v, hd, wantD[v])
+			}
+			if p := g.ShortestPath(NodeID(u), NodeID(v)); !pathsEqual(p, refShortestPath(g, NodeID(u), NodeID(v))) {
+				t.Fatalf("ShortestPath(%d,%d) = %v diverges from reference", u, v, p)
+			}
+		}
+	}
+}
+
+// TestRoutesLRUBound checks the table registry never exceeds its bound
+// and that lookups stay correct across evictions.
+func TestRoutesLRUBound(t *testing.T) {
+	g := NewGrid(6, 6)
+	rts := NewRoutes(g, 3)
+	for round := 0; round < 3; round++ {
+		for root := 0; root < g.N(); root++ {
+			d := rts.Distances(NodeID(root))
+			want := refHopDistances(g, NodeID(root))
+			for v := range want {
+				if d[v] != want[v] {
+					t.Fatalf("round %d: Distances(%d)[%d] = %d, want %d", round, root, v, d[v], want[v])
+				}
+			}
+			if c := rts.Cached(); c > 3 {
+				t.Fatalf("cache holds %d tables, bound is 3", c)
+			}
+		}
+	}
+	// A previously evicted root is rebuilt transparently.
+	if d := rts.Dist(0, NodeID(g.N()-1)); d != 10 {
+		t.Fatalf("corner-to-corner distance = %d, want 10", d)
+	}
+}
+
+// TestRoutesAddEdgeInvalidates checks that topology edits drop the
+// graph-attached routing tables instead of serving stale distances.
+func TestRoutesAddEdgeInvalidates(t *testing.T) {
+	g := NewGrid(1, 5) // a path: 0-1-2-3-4
+	if d := g.HopDistance(0, 4); d != 4 {
+		t.Fatalf("path distance = %d, want 4", d)
+	}
+	g.AddEdge(0, 4)
+	if d := g.HopDistance(0, 4); d != 1 {
+		t.Fatalf("distance after AddEdge = %d, want 1", d)
+	}
+}
+
+// TestRoutesConcurrent hammers one Routes instance from many goroutines
+// with a tight table bound, so builds, lookups and evictions interleave;
+// run with -race. Every observed value must still match the reference.
+func TestRoutesConcurrent(t *testing.T) {
+	g := NewGrid(8, 8)
+	rts := NewRoutes(g, 4) // tight bound forces eviction churn
+	ref := make([][]int, g.N())
+	for u := range ref {
+		ref[u] = refHopDistances(g, NodeID(u))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 500; i++ {
+				u := NodeID(rng.Intn(g.N()))
+				v := NodeID(rng.Intn(g.N()))
+				if d := rts.Dist(u, v); d != ref[v][u] {
+					t.Errorf("concurrent Dist(%d,%d) = %d, want %d", u, v, d, ref[v][u])
+					return
+				}
+				p := rts.Path(u, v)
+				if len(p) != ref[v][u]+1 || p[0] != u || p[len(p)-1] != v {
+					t.Errorf("concurrent Path(%d,%d) = %v (want %d hops)", u, v, p, ref[v][u])
+					return
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+}

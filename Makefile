@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-obs bench-routes examples clean
+.PHONY: check build vet test race bench bench-obs bench-routes bench-parallel examples clean
 
 ## check: everything CI runs — build, vet, tests, the race pass, then the
-## routing throughput snapshot (BENCH_routes.json) so perf regressions on
-## the routed-message hot path are visible per commit
-check: build vet test race bench-routes
+## routing and parallel-layer throughput snapshots (BENCH_routes.json,
+## BENCH_parallel.json) so perf regressions on the hot paths are visible
+## per commit
+check: build vet test race bench-routes bench-parallel
 
 build:
 	$(GO) build ./...
@@ -17,9 +18,10 @@ test:
 	$(GO) test ./...
 
 ## race: the concurrent subsystems (streaming engine, async runtime,
-## routing tables, metrics registry/tracer) under the race detector
+## routing tables, metrics registry/tracer, parallel execution layer and
+## the kernels/figures running on it) under the race detector
 race:
-	$(GO) test -race ./internal/stream ./internal/sim ./internal/topology ./internal/obs ./cmd/elink-serve .
+	$(GO) test -race ./internal/stream ./internal/sim ./internal/topology ./internal/obs ./internal/par ./internal/linalg ./internal/experiments ./cmd/elink-serve .
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
@@ -33,6 +35,13 @@ bench-obs:
 ## per-message BFS; sync and async runtimes) dumped to BENCH_routes.json
 bench-routes:
 	$(GO) run ./cmd/elink-experiments -only routes -routes-out BENCH_routes.json
+
+## bench-parallel: serial-vs-parallel Jacobi eigensolver wall times at the
+## spectral baseline's sizes plus the -j 1 vs -j N figure harness, dumped
+## to BENCH_parallel.json (speedups depend on the host's GOMAXPROCS,
+## which the dump records)
+bench-parallel:
+	$(GO) run ./cmd/elink-experiments -only parbench -par-out BENCH_parallel.json
 
 ## examples: compile every example without running them
 examples:

@@ -2,21 +2,32 @@
 // (§8) plus the complexity checks and ablations, printing one table per
 // figure. EXPERIMENTS.md records the measured shapes next to the paper's.
 //
+// Figures run concurrently on the shared execution layer (-j bounds the
+// workers; figure results are bitwise independent of -j, and each
+// figure's output is buffered so tables always print in the order
+// below).
+//
 // Usage:
 //
 //	elink-experiments                  # quick scale (seconds)
 //	elink-experiments -paper           # the paper's scale (minutes)
 //	elink-experiments -only fig08,fig13
+//	elink-experiments -j 8             # eight-way figure/kernel parallelism
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"elink/internal/experiments"
+	"elink/internal/par"
 )
 
 var figures = []struct {
@@ -43,6 +54,28 @@ var figures = []struct {
 	{"optimality", experiments.OptimalityGap},
 	{"obs", experiments.ObsReplay},
 	{"routes", experiments.RoutesBench},
+	{"parbench", experiments.ParallelBench},
+}
+
+func validNames() string {
+	names := make([]string, len(figures))
+	for i, f := range figures {
+		names[i] = f.name
+	}
+	return strings.Join(names, ", ")
+}
+
+// dumpTo wraps a *To-style figure so its JSON payload lands in the named
+// file.
+func dumpTo(path string, run func(experiments.Scale, io.Writer) (*experiments.Table, error)) func(experiments.Scale) (*experiments.Table, error) {
+	return func(sc experiments.Scale) (*experiments.Table, error) {
+		out, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		defer out.Close()
+		return run(sc, out)
+	}
 }
 
 func main() {
@@ -50,6 +83,7 @@ func main() {
 		paper    = flag.Bool("paper", false, "run at the paper's full scale (2500-node Death Valley, 100k readings; the spectral baseline dominates and takes many minutes)")
 		only     = flag.String("only", "", "comma-separated figure names to run (default all); names: fig08..fig15, path, complexity, ablation-*")
 		seed     = flag.Int64("seed", 1, "random seed")
+		jobs     = flag.Int("j", 0, "worker count for the parallel execution layer and the figure runner (0 = GOMAXPROCS or ELINK_WORKERS); results are identical for every value")
 		queries  = flag.Int("queries", 0, "queries per data point (0 = scale default)")
 		taoDays  = flag.Int("tao-days", 0, "override Tao stream length in days")
 		dvNodes  = flag.Int("dv-nodes", 0, "override Death Valley node count")
@@ -58,8 +92,13 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		obsOut   = flag.String("obs-out", "", "with the obs figure: write the instrumented run's full metrics registry to this file as JSON")
 		routeOut = flag.String("routes-out", "", "with the routes figure: write the routing benchmark results to this file as JSON")
+		parOut   = flag.String("par-out", "", "with the parbench figure: write the parallel-layer benchmark results to this file as JSON (run it via -only parbench so concurrent figures don't distort timings)")
 	)
 	flag.Parse()
+
+	if *jobs > 0 {
+		par.SetWorkers(*jobs)
+	}
 
 	sc := experiments.QuickScale()
 	if *paper {
@@ -88,48 +127,115 @@ func main() {
 			want[n] = true
 		}
 	}
+	// Unknown -only names fail fast instead of silently running nothing.
+	known := map[string]bool{}
+	for _, f := range figures {
+		known[f.name] = true
+	}
+	var unknown []string
+	for n := range want {
+		if !known[n] {
+			unknown = append(unknown, n)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "elink-experiments: unknown figure(s) %s; valid names: %s\n",
+			strings.Join(unknown, ", "), validNames())
+		os.Exit(1)
+	}
 
+	type figEntry struct {
+		name string
+		run  func(experiments.Scale) (*experiments.Table, error)
+	}
+	var selected []figEntry
 	for _, f := range figures {
 		if len(want) > 0 && !want[f.name] {
 			continue
 		}
-		start := time.Now()
 		run := f.run
-		if f.name == "obs" && *obsOut != "" {
-			run = func(sc experiments.Scale) (*experiments.Table, error) {
-				out, err := os.Create(*obsOut)
-				if err != nil {
-					return nil, err
-				}
-				defer out.Close()
-				return experiments.ObsReplayTo(sc, out)
-			}
+		switch {
+		case f.name == "obs" && *obsOut != "":
+			run = dumpTo(*obsOut, experiments.ObsReplayTo)
+		case f.name == "routes" && *routeOut != "":
+			run = dumpTo(*routeOut, experiments.RoutesBenchTo)
+		case f.name == "parbench" && *parOut != "":
+			run = dumpTo(*parOut, experiments.ParallelBenchTo)
 		}
-		if f.name == "routes" && *routeOut != "" {
-			run = func(sc experiments.Scale) (*experiments.Table, error) {
-				out, err := os.Create(*routeOut)
-				if err != nil {
-					return nil, err
-				}
-				defer out.Close()
-				return experiments.RoutesBenchTo(sc, out)
-			}
-		}
-		tbl, err := run(sc)
+		selected = append(selected, figEntry{name: f.name, run: run})
+	}
+
+	// Run the selected figures concurrently, buffering each figure's
+	// rendered output so tables stream to stdout in registration order
+	// the moment their prefix is complete.
+	type figResult struct {
+		text string
+		err  error
+	}
+	renderOne := func(f figEntry) figResult {
+		start := time.Now()
+		tbl, err := f.run(sc)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "elink-experiments: %s: %v\n", f.name, err)
-			os.Exit(1)
+			return figResult{err: fmt.Errorf("%s: %w", f.name, err)}
 		}
 		tbl.Notes = append(tbl.Notes, fmt.Sprintf("wall time: %v", time.Since(start).Round(time.Millisecond)))
+		var buf bytes.Buffer
 		if *csvOut {
-			fmt.Printf("# %s\n", tbl.Title)
-			if err := tbl.WriteCSV(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "elink-experiments: %v\n", err)
-				os.Exit(1)
+			fmt.Fprintf(&buf, "# %s\n", tbl.Title)
+			if err := tbl.WriteCSV(&buf); err != nil {
+				return figResult{err: fmt.Errorf("%s: %w", f.name, err)}
 			}
-			fmt.Println()
-			continue
+			fmt.Fprintln(&buf)
+		} else {
+			tbl.Render(&buf)
 		}
-		tbl.Render(os.Stdout)
+		return figResult{text: buf.String()}
+	}
+
+	runners := par.Workers()
+	if runners > len(selected) {
+		runners = len(selected)
+	}
+	results := make([]figResult, len(selected))
+	done := make(chan int, len(selected))
+	jobsCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < runners; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobsCh {
+				results[i] = renderOne(selected[i])
+				done <- i
+			}
+		}()
+	}
+	go func() {
+		for i := range selected {
+			jobsCh <- i
+		}
+		close(jobsCh)
+		wg.Wait()
+		close(done)
+	}()
+
+	finished := make([]bool, len(selected))
+	next := 0
+	failed := false
+	for i := range done {
+		finished[i] = true
+		for next < len(selected) && finished[next] {
+			if err := results[next].err; err != nil {
+				fmt.Fprintf(os.Stderr, "elink-experiments: %v\n", err)
+				failed = true
+			} else {
+				fmt.Print(results[next].text)
+			}
+			next++
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -81,6 +81,7 @@ func main() {
 		s = *delta / 10
 	}
 	reg := elink.NewMetricsRegistry()
+	elink.InstrumentParallelism(reg) // pool utilization on /metrics
 	tracer := elink.NewTraceBuffer(*tracebuf)
 	engine, err := elink.NewEngine(g, elink.EngineConfig{
 		Order:               *order,

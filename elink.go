@@ -38,6 +38,7 @@ import (
 	"elink/internal/index"
 	"elink/internal/metric"
 	"elink/internal/obs"
+	"elink/internal/par"
 	"elink/internal/query"
 	"elink/internal/sim"
 	"elink/internal/stream"
@@ -358,6 +359,22 @@ func MessageBuckets() []float64 { return obs.MessageBuckets() }
 // RoundBuckets returns the shared round-count histogram layout (powers
 // of two).
 func RoundBuckets() []float64 { return obs.RoundBuckets() }
+
+// SetParallelism pins the worker count of the shared parallel execution
+// layer (the Jacobi eigensolver, k-means, AR fitting and query fan-out
+// all run on it). n <= 0 restores automatic resolution: the
+// ELINK_WORKERS environment variable if set, else GOMAXPROCS. Results
+// are bitwise identical for every worker count; only throughput changes.
+func SetParallelism(n int) { par.SetWorkers(n) }
+
+// Parallelism reports the worker count the parallel execution layer
+// resolves for new work.
+func Parallelism() int { return par.Workers() }
+
+// InstrumentParallelism exports the parallel execution layer's
+// utilization (par_tasks_total, par_workers, par_batch_latency_seconds)
+// through the given registry; nil detaches it again.
+func InstrumentParallelism(reg *MetricsRegistry) { par.Instrument(reg) }
 
 // NewEngine builds a streaming engine over the network. Ingest batches
 // with Engine.Ingest (raw readings, Order >= 1) or Engine.IngestFeatures

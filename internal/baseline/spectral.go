@@ -13,6 +13,7 @@ import (
 	"elink/internal/cluster"
 	"elink/internal/linalg"
 	"elink/internal/metric"
+	"elink/internal/par"
 	"elink/internal/topology"
 )
 
@@ -267,9 +268,10 @@ func spectralPartition(g *topology.Graph, solver *eigenCache, k int, rng *rand.R
 	if err != nil {
 		return nil, err
 	}
-	// Row-normalize the embedding (NJW step 4).
+	// Row-normalize the embedding (NJW step 4); rows are independent, so
+	// the normalization fans out over the shared execution layer.
 	emb := linalg.NewMatrix(n, vecs.Cols)
-	for i := 0; i < n; i++ {
+	par.For(n, func(i int) {
 		var norm float64
 		for c := 0; c < vecs.Cols; c++ {
 			v := vecs.At(i, c)
@@ -282,7 +284,7 @@ func spectralPartition(g *topology.Graph, solver *eigenCache, k int, rng *rand.R
 		for c := 0; c < vecs.Cols; c++ {
 			emb.Set(i, c, vecs.At(i, c)/norm)
 		}
-	}
+	})
 	labels := linalg.KMeans(emb, k, rng, 30)
 	return cluster.FromAssignment(labels), nil
 }

@@ -13,6 +13,7 @@ import (
 
 	"elink/internal/ar"
 	"elink/internal/metric"
+	"elink/internal/par"
 	"elink/internal/topology"
 )
 
@@ -111,13 +112,20 @@ func Tao(cfg TaoConfig) (*Dataset, error) {
 		series[u] = taoSeries(g.Pos[u], cfg, steps, zoneDaily, rng)
 	}
 
+	// Series generation above consumes the shared rng in node order and
+	// stays serial; the per-node least-squares fits are pure functions of
+	// the series, so they fan out over the shared execution layer with
+	// index-ordered collection (bit-identical for any worker count).
 	feats := make([]metric.Feature, n)
-	for u := 0; u < n; u++ {
+	if err := par.Err(n, func(u int) error {
 		f, err := FitTaoModel(series[u])
 		if err != nil {
-			return nil, fmt.Errorf("data: fitting node %d: %w", u, err)
+			return fmt.Errorf("data: fitting node %d: %w", u, err)
 		}
 		feats[u] = f
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return &Dataset{
 		Name:     "tao",
@@ -249,11 +257,11 @@ func DeathValley(cfg DeathValleyConfig) (*Dataset, error) {
 
 	min, max := g.BoundingBox()
 	feats := make([]metric.Feature, g.N())
-	for u := 0; u < g.N(); u++ {
+	par.For(g.N(), func(u int) {
 		fx := (g.Pos[u].X - min.X) / math.Max(1e-9, max.X-min.X)
 		fy := (g.Pos[u].Y - min.Y) / math.Max(1e-9, max.Y-min.Y)
 		feats[u] = metric.Feature{bilinear(terrain, fx, fy)}
-	}
+	})
 	return &Dataset{
 		Name:     "deathvalley",
 		Graph:    g,
@@ -394,17 +402,23 @@ func Synthetic(cfg SyntheticConfig) (*Dataset, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := topology.RandomGeometricForDegree(cfg.Nodes, 4, rng)
 
+	// Generation consumes the shared rng (α draw then innovations, node
+	// by node) and must stay serial to keep the draw order — and thus
+	// every series — identical to the historical single-core path.
 	series := make([][]float64, g.N())
-	feats := make([]metric.Feature, g.N())
 	for u := 0; u < g.N(); u++ {
 		alpha := 0.4 + rng.Float64()*0.4
 		series[u] = ar.Simulate([]float64{alpha}, cfg.Readings, []float64{1},
 			ar.UniformNoise(rng, 0, 1))
-		// The paper initializes every node with α₁ = 1 and updates the
-		// model on every measurement. The U(0,1) innovations have a
-		// non-zero mean, so the AR coefficient is fitted on deviations
-		// from the series mean — otherwise every α̂ collapses toward 1
-		// and the features stop discriminating.
+	}
+	// The RLS refits are pure per-node functions of the series, so they
+	// fan out. The paper initializes every node with α₁ = 1 and updates
+	// the model on every measurement. The U(0,1) innovations have a
+	// non-zero mean, so the AR coefficient is fitted on deviations from
+	// the series mean — otherwise every α̂ collapses toward 1 and the
+	// features stop discriminating.
+	feats := make([]metric.Feature, g.N())
+	par.For(g.N(), func(u int) {
 		var mean float64
 		for _, v := range series[u] {
 			mean += v
@@ -416,7 +430,7 @@ func Synthetic(cfg SyntheticConfig) (*Dataset, error) {
 			m.Observe(v - mean)
 		}
 		feats[u] = metric.Feature{m.Coef[0]}
-	}
+	})
 	return &Dataset{
 		Name:     "synthetic",
 		Graph:    g,

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"testing"
+
+	"elink/internal/par"
+)
+
+// TestFiguresWorkerCountInvariant is the golden determinism test for the
+// parallel execution layer: figure tables must be byte-identical with
+// the layer pinned to one worker and fanned out to several, at the same
+// seed. The figures chosen cover every rewired hot path — AR fitting and
+// query fan-out (Fig14, PathQueries), the chunked trajectory refits and
+// elink runs (Complexity), and the clustering-quality pipeline (Fig08).
+func TestFiguresWorkerCountInvariant(t *testing.T) {
+	figs := []struct {
+		name string
+		run  func(Scale) (*Table, error)
+	}{
+		{"fig08", Fig08},
+		{"fig14", Fig14},
+		{"path", PathQueries},
+		{"complexity", Complexity},
+	}
+	sc := QuickScale()
+
+	render := func(workers int) map[string]string {
+		par.SetWorkers(workers)
+		defer par.SetWorkers(0)
+		out := make(map[string]string, len(figs))
+		for _, f := range figs {
+			tbl, err := f.run(sc)
+			if err != nil {
+				t.Fatalf("workers=%d %s: %v", workers, f.name, err)
+			}
+			out[f.name] = tbl.String()
+		}
+		return out
+	}
+
+	serial := render(1)
+	parallel := render(4)
+	for _, f := range figs {
+		if serial[f.name] != parallel[f.name] {
+			t.Errorf("%s: table differs between -j 1 and -j 4\n--- j=1 ---\n%s\n--- j=4 ---\n%s",
+				f.name, serial[f.name], parallel[f.name])
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"elink/internal/linalg"
+	"elink/internal/par"
+)
+
+// parEigenSize pairs a benchmark matrix size with its sweep cap: the
+// large sizes time per-sweep throughput (one cyclic sweep visits every
+// off-diagonal pair, so one sweep is a faithful cost sample) instead of
+// waiting minutes for full convergence.
+type parEigenSize struct {
+	n, sweeps int
+}
+
+var parEigenSizes = []parEigenSize{{256, 3}, {700, 2}, {1500, 1}, {2500, 1}}
+
+// parEigenBenchRow is one serial-vs-parallel eigensolver measurement in
+// BENCH_parallel.json.
+type parEigenBenchRow struct {
+	N          int     `json:"n"`
+	Sweeps     int     `json:"sweeps"`
+	SerialMs   float64 `json:"serial_ms"`
+	ParallelMs float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// parHarnessBench records the figure-harness comparison: the same set of
+// figures computed with the execution layer pinned to one worker versus
+// the resolved worker count.
+type parHarnessBench struct {
+	Figures    []string `json:"figures"`
+	SerialMs   float64  `json:"serial_ms"`
+	ParallelMs float64  `json:"parallel_ms"`
+	Speedup    float64  `json:"speedup"`
+}
+
+// parBenchResult is the machine-readable BENCH_parallel.json payload the
+// Makefile's bench-parallel target tracks across commits.
+type parBenchResult struct {
+	GoMaxProcs int                `json:"gomaxprocs"`
+	Workers    int                `json:"workers"`
+	Eigen      []parEigenBenchRow `json:"eigen"`
+	Harness    parHarnessBench    `json:"harness"`
+}
+
+// parBenchMatrix builds the benchmark input: a dense random symmetric
+// matrix shaped like the normalized affinity Laplacians the spectral
+// baseline feeds the solver.
+func parBenchMatrix(n int, seed int64) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1+rng.Float64())
+		for j := i + 1; j < n; j++ {
+			v := rng.NormFloat64() / float64(n)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// ParallelBench measures the deterministic parallel execution layer:
+// the Jacobi eigensolver serial vs parallel at the sizes the spectral
+// baseline sees, and the figure harness with -j 1 vs the resolved worker
+// count. Speedups depend on GOMAXPROCS, which the result records — on a
+// single-core host both arms measure the same machine and the speedup
+// hovers around 1.
+func ParallelBench(sc Scale) (*Table, error) { return ParallelBenchTo(sc, nil) }
+
+// ParallelBenchTo is ParallelBench with an optional writer receiving the
+// results as JSON (nil skips the dump).
+func ParallelBenchTo(sc Scale, dump io.Writer) (*Table, error) {
+	res := parBenchResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(),
+	}
+
+	t := &Table{
+		Title:   "Parbench: Jacobi eigensolver serial vs parallel (wall ms)",
+		XLabel:  "n",
+		Columns: []string{"serial-ms", "parallel-ms", "speedup", "sweeps"},
+	}
+	for _, sz := range parEigenSizes {
+		a := parBenchMatrix(sz.n, int64(sz.n))
+		start := time.Now()
+		if _, _, err := linalg.EigenSymOpt(a, linalg.EigenOptions{MaxSweeps: sz.sweeps, ForceSerial: true}); err != nil {
+			return nil, err
+		}
+		serial := time.Since(start)
+		start = time.Now()
+		if _, _, err := linalg.EigenSymOpt(a, linalg.EigenOptions{MaxSweeps: sz.sweeps}); err != nil {
+			return nil, err
+		}
+		parallel := time.Since(start)
+		row := parEigenBenchRow{
+			N:          sz.n,
+			Sweeps:     sz.sweeps,
+			SerialMs:   float64(serial.Microseconds()) / 1000,
+			ParallelMs: float64(parallel.Microseconds()) / 1000,
+			Speedup:    float64(serial) / float64(parallel),
+		}
+		res.Eigen = append(res.Eigen, row)
+		t.AddRow(float64(sz.n), row.SerialMs, row.ParallelMs, row.Speedup, float64(sz.sweeps))
+	}
+
+	// Figure harness: the same query-heavy figures with the execution
+	// layer pinned to one worker, then at the resolved count. The pin is
+	// restored afterwards so a surrounding -j choice survives.
+	harnessFigs := []struct {
+		name string
+		run  func(Scale) (*Table, error)
+	}{
+		{"fig14", Fig14},
+		{"path", PathQueries},
+	}
+	restore := par.Workers()
+	runAll := func() error {
+		for _, f := range harnessFigs {
+			if _, err := f.run(sc); err != nil {
+				return fmt.Errorf("experiments: parbench harness %s: %w", f.name, err)
+			}
+		}
+		return nil
+	}
+	par.SetWorkers(1)
+	start := time.Now()
+	if err := runAll(); err != nil {
+		par.SetWorkers(restore)
+		return nil, err
+	}
+	serial := time.Since(start)
+	par.SetWorkers(restore)
+	start = time.Now()
+	if err := runAll(); err != nil {
+		return nil, err
+	}
+	parallel := time.Since(start)
+	res.Harness = parHarnessBench{
+		SerialMs:   float64(serial.Microseconds()) / 1000,
+		ParallelMs: float64(parallel.Microseconds()) / 1000,
+		Speedup:    float64(serial) / float64(parallel),
+	}
+	for _, f := range harnessFigs {
+		res.Harness.Figures = append(res.Harness.Figures, f.name)
+	}
+
+	t.Notes = []string{
+		sc.note(),
+		fmt.Sprintf("gomaxprocs=%d, workers=%d; large sizes capped to %d/%d sweeps (per-sweep throughput)",
+			res.GoMaxProcs, res.Workers, parEigenSizes[len(parEigenSizes)-2].sweeps, parEigenSizes[len(parEigenSizes)-1].sweeps),
+		fmt.Sprintf("harness (%v): serial %.0f ms vs parallel %.0f ms (%.2fx)",
+			res.Harness.Figures, res.Harness.SerialMs, res.Harness.ParallelMs, res.Harness.Speedup),
+	}
+
+	if dump != nil {
+		enc := json.NewEncoder(dump)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return nil, fmt.Errorf("experiments: dump parallel bench: %w", err)
+		}
+	}
+	return t, nil
+}

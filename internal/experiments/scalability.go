@@ -8,6 +8,7 @@ import (
 	"elink/internal/data"
 	"elink/internal/elink"
 	"elink/internal/metric"
+	"elink/internal/par"
 	"elink/internal/topology"
 	"elink/internal/update"
 )
@@ -149,12 +150,14 @@ func alphaTrajectories(ds *data.Dataset, chunks int) [][]metric.Feature {
 			end = total
 		}
 		snap := make([]metric.Feature, n)
-		for u := 0; u < n; u++ {
+		// Each node owns its model, so the chunk refits fan out over the
+		// shared execution layer.
+		par.For(n, func(u int) {
 			for t := pos; t < end; t++ {
 				models[u].Observe(ds.Series[u][t] - means[u])
 			}
 			snap[u] = metric.Feature{models[u].Coef[0]}
-		}
+		})
 		pos = end
 		out = append(out, snap)
 	}

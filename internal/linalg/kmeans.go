@@ -3,6 +3,9 @@ package linalg
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"elink/internal/par"
 )
 
 // KMeans clusters the rows of points into k groups using Lloyd's algorithm
@@ -26,8 +29,11 @@ func KMeans(points *Matrix, k int, rng *rand.Rand, maxIter int) []int {
 	centers := seedPlusPlus(points, k, rng)
 	assign := make([]int, n)
 	for iter := 0; iter < maxIter; iter++ {
-		changed := false
-		for i := 0; i < n; i++ {
+		// Assignment: each point's nearest center is independent, so the
+		// scan fans out over the shared execution layer (deterministic —
+		// writes are per-index, the changed flag is order-free).
+		var changedFlag atomic.Bool
+		par.For(n, func(i int) {
 			row := points.Data[i*dim : (i+1)*dim]
 			best, bestD := 0, math.Inf(1)
 			for c := 0; c < k; c++ {
@@ -38,9 +44,10 @@ func KMeans(points *Matrix, k int, rng *rand.Rand, maxIter int) []int {
 			}
 			if assign[i] != best {
 				assign[i] = best
-				changed = true
+				changedFlag.Store(true)
 			}
-		}
+		})
+		changed := changedFlag.Load()
 		if !changed && iter > 0 {
 			break
 		}
@@ -82,8 +89,10 @@ func seedPlusPlus(points *Matrix, k int, rng *rand.Rand) [][]float64 {
 	centers = append(centers, append([]float64(nil), points.Data[first*dim:(first+1)*dim]...))
 	d2 := make([]float64, n)
 	for len(centers) < k {
-		var total float64
-		for i := 0; i < n; i++ {
+		// Refresh the squared distances in parallel, then total them
+		// serially in index order so the sampling threshold (and hence
+		// the seeding) is bitwise worker-count independent.
+		par.For(n, func(i int) {
 			row := points.Data[i*dim : (i+1)*dim]
 			best := math.Inf(1)
 			for _, c := range centers {
@@ -92,7 +101,10 @@ func seedPlusPlus(points *Matrix, k int, rng *rand.Rand) [][]float64 {
 				}
 			}
 			d2[i] = best
-			total += best
+		})
+		var total float64
+		for i := 0; i < n; i++ {
+			total += d2[i]
 		}
 		var pick int
 		if total == 0 {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"elink/internal/par"
 )
 
 // SparseSym is a symmetric sparse matrix in adjacency-list form, used for
@@ -134,31 +136,36 @@ func (s *SparseSym) EigenTopK(k int, rng *rand.Rand) ([]float64, *Matrix, error)
 	var vals []float64
 	var ritz *Matrix
 	for iter := 0; iter < maxIter; iter++ {
-		// Z = (S + shift I) Q.
-		for c := 0; c < b; c++ {
+		// Z = (S + shift I) Q. Columns are independent, so the block
+		// matvec fans out over the shared execution layer; every column's
+		// arithmetic is the serial order, so results are worker-count
+		// independent.
+		par.For(b, func(c int) {
 			s.MulVec(q[c], z[c])
 			for r := 0; r < n; r++ {
 				z[c][r] += shift * q[c][r]
 			}
-		}
+		})
 		// Rayleigh–Ritz every few iterations (and on the last).
 		if iter%4 == 3 || iter == maxIter-1 {
-			// T = Qᵀ Z (b x b, symmetric up to round-off).
+			// T = Qᵀ Z (b x b, symmetric up to round-off). Row i writes
+			// (i, j>=i) and mirrors into (j, i) — disjoint across i.
 			t := NewMatrix(b, b)
-			for i := 0; i < b; i++ {
+			par.For(b, func(i int) {
 				for j := i; j < b; j++ {
 					v := dot(q[i], z[j])
 					t.Set(i, j, v)
 					t.Set(j, i, v)
 				}
-			}
+			})
 			tv, tvec, err := EigenSym(t)
 			if err != nil {
 				return nil, nil, err
 			}
-			// Rotate the block onto the Ritz basis: Q' = Q V.
+			// Rotate the block onto the Ritz basis: Q' = Q V. Each output
+			// column accumulates from the (frozen) old block.
 			rot := make([][]float64, b)
-			for c := 0; c < b; c++ {
+			par.For(b, func(c int) {
 				rot[c] = make([]float64, n)
 				for j := 0; j < b; j++ {
 					f := tvec.At(j, c)
@@ -171,22 +178,29 @@ func (s *SparseSym) EigenTopK(k int, rng *rand.Rand) ([]float64, *Matrix, error)
 						dst[r] += f * col[r]
 					}
 				}
-			}
+			})
 			q = rot
-			// Convergence: residual of the k leading Ritz pairs.
-			converged := true
-			y := make([]float64, n)
-			vals = vals[:0]
-			for c := 0; c < k; c++ {
+			// Convergence: residual of the k leading Ritz pairs, one
+			// scratch vector per column so they fan out safely.
+			vals = make([]float64, k)
+			unconverged := make([]bool, k)
+			par.For(k, func(c int) {
+				y := make([]float64, n)
 				s.MulVec(q[c], y)
 				lambda := tv[c] - shift
-				vals = append(vals, lambda)
+				vals[c] = lambda
 				var res float64
 				for r := 0; r < n; r++ {
 					d := y[r] - lambda*q[c][r]
 					res += d * d
 				}
 				if math.Sqrt(res) > tol*(math.Abs(lambda)+1) {
+					unconverged[c] = true
+				}
+			})
+			converged := true
+			for _, u := range unconverged {
+				if u {
 					converged = false
 				}
 			}

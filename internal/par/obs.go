@@ -1,0 +1,58 @@
+package par
+
+import (
+	"sync/atomic"
+	"time"
+
+	"elink/internal/obs"
+)
+
+// parMetrics bundles the live handles Instrument installs. A single
+// atomic pointer keeps the uninstrumented hot path at one load + nil
+// test, matching the obs package's opt-in philosophy.
+type parMetrics struct {
+	tasks   *obs.Counter
+	workers *obs.Gauge
+	latency *obs.Histogram
+}
+
+var instrumented atomic.Pointer[parMetrics]
+
+func metrics() *parMetrics { return instrumented.Load() }
+
+// Instrument exports the pool's utilization through the given registry:
+//
+//	par_tasks_total            tasks (chunks and pool phases) executed
+//	par_workers                currently resolved worker count
+//	par_batch_latency_seconds  wall-clock latency of fork-join batches
+//
+// Passing nil turns instrumentation off again. Handles are registered
+// eagerly so /metrics shows the families (with zero values) before the
+// first parallel call.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		instrumented.Store(nil)
+		return
+	}
+	reg.Help("par_tasks_total", "Parallel tasks executed by the shared execution layer (chunks and pool phases).")
+	reg.Help("par_workers", "Worker count the parallel execution layer resolves for new batches.")
+	reg.Help("par_batch_latency_seconds", "Wall-clock latency of fork-join batches (For/Chunks/Err/Map).")
+	m := &parMetrics{
+		tasks:   reg.Counter("par_tasks_total"),
+		workers: reg.Gauge("par_workers"),
+		latency: reg.Histogram("par_batch_latency_seconds", obs.LatencyBuckets()),
+	}
+	m.workers.Set(float64(Workers()))
+	instrumented.Store(m)
+}
+
+// observeBatch records one completed fork-join batch: the number of
+// chunks it dispatched and its wall-clock latency.
+func observeBatch(chunks int, start time.Time) {
+	m := metrics()
+	if m == nil {
+		return
+	}
+	m.tasks.Add(int64(chunks))
+	m.latency.Observe(time.Since(start).Seconds())
+}

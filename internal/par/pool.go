@@ -1,0 +1,135 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// Pool is a persistent fork-join pool for phase-structured kernels whose
+// parallel regions are microseconds long — far too fine for per-call
+// goroutine spawning. The Jacobi eigensolver runs two phases per
+// rotation (~n² rotations per sweep) on one Pool.
+//
+// Workers park in a spin loop (yielding to the scheduler on every miss,
+// so a Pool is safe — merely slow — even at GOMAXPROCS=1) and are
+// released by a single atomic epoch increment; the driver participates
+// as the last worker, then spins until the others check in. Dispatch
+// cost is therefore a couple of atomic operations per phase instead of
+// channel handoffs.
+//
+// A Pool is driven by one goroutine at a time: Run and Close must not be
+// called concurrently. Run bodies receive their worker index and the
+// fixed worker count and must write disjoint state per worker; under
+// that contract results are independent of scheduling. A panic in any
+// body is re-raised on the driver's goroutine after the phase drains.
+type Pool struct {
+	workers int
+	body    func(worker int)
+	epoch   atomic.Uint32
+	done    atomic.Int32
+	pan     atomic.Pointer[panicValue]
+	closed  bool
+}
+
+// NewPool starts a pool with the given worker count (0 resolves via
+// Workers()). A pool with one worker runs every phase inline. Callers
+// must Close pools with more than one worker to release their
+// goroutines.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = Workers()
+	}
+	p := &Pool{workers: workers}
+	for w := 0; w < workers-1; w++ {
+		go p.spin(w)
+	}
+	if m := metrics(); m != nil {
+		m.workers.Set(float64(Workers()))
+	}
+	return p
+}
+
+// Workers returns the pool's fixed worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes body(worker) on every worker (indices 0..Workers()-1; the
+// calling goroutine takes the last index) and returns when all have
+// finished. Bodies typically carve [0, n) by worker index with Span.
+func (p *Pool) Run(body func(worker int)) {
+	if p.closed {
+		panic("par: Run on closed Pool")
+	}
+	if m := metrics(); m != nil {
+		m.tasks.Add(int64(p.workers))
+	}
+	if p.workers == 1 {
+		body(0)
+		return
+	}
+	p.body = body
+	p.done.Store(0)
+	p.epoch.Add(1) // release: workers load epoch before reading body
+	p.runGuarded(body, p.workers-1)
+	for p.done.Load() != int32(p.workers-1) {
+		runtime.Gosched()
+	}
+	if pan := p.pan.Swap(nil); pan != nil {
+		panic(fmt.Sprintf("par: pool task panic: %v\n%s", pan.val, pan.stack))
+	}
+}
+
+// Close releases the pool's worker goroutines. The pool cannot be used
+// afterwards. Close is idempotent.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	if p.workers == 1 {
+		return
+	}
+	p.body = nil
+	p.done.Store(0)
+	p.epoch.Add(1)
+	for p.done.Load() != int32(p.workers-1) {
+		runtime.Gosched()
+	}
+}
+
+func (p *Pool) spin(worker int) {
+	last := uint32(0)
+	for {
+		for p.epoch.Load() == last {
+			runtime.Gosched()
+		}
+		last = p.epoch.Load()
+		body := p.body
+		if body == nil {
+			p.done.Add(1)
+			return
+		}
+		p.runGuarded(body, worker)
+		p.done.Add(1)
+	}
+}
+
+func (p *Pool) runGuarded(body func(int), worker int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.pan.CompareAndSwap(nil, &panicValue{val: r, stack: stack()})
+		}
+	}()
+	body(worker)
+}
+
+// Span carves [0, n) into Workers() contiguous ranges and returns the
+// one owned by worker w. The layout depends on the worker count, which
+// is fine for bodies with disjoint index-addressed writes (the results
+// are identical regardless of who computes them); order-sensitive
+// reductions must use fixed-grain strides instead (see Chunks).
+func Span(n, workers, w int) (lo, hi int) {
+	lo = w * n / workers
+	hi = (w + 1) * n / workers
+	return lo, hi
+}

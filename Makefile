@@ -1,18 +1,23 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-obs bench-routes bench-parallel examples clean
+.PHONY: check build vet fmt test race bench bench-obs bench-routes bench-parallel bench-persist examples clean
 
-## check: everything CI runs — build, vet, tests, the race pass, then the
-## routing and parallel-layer throughput snapshots (BENCH_routes.json,
-## BENCH_parallel.json) so perf regressions on the hot paths are visible
-## per commit
-check: build vet test race bench-routes bench-parallel
+## check: everything CI runs — build, vet, gofmt cleanliness, tests, the
+## race pass, then the routing, parallel-layer and durability snapshots
+## (BENCH_routes.json, BENCH_parallel.json, BENCH_persist.json) so perf
+## regressions on the hot paths are visible per commit
+check: build vet fmt test race bench-routes bench-parallel bench-persist
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## fmt: fail if any tracked Go file is not gofmt-clean
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -42,6 +47,12 @@ bench-routes:
 ## which the dump records)
 bench-parallel:
 	$(GO) run ./cmd/elink-experiments -only parbench -par-out BENCH_parallel.json
+
+## bench-persist: snapshot encode / restore decode latency and snapshot
+## size on bootstrapped engines at 500/2500/10000 nodes, dumped to
+## BENCH_persist.json
+bench-persist:
+	$(GO) run ./cmd/elink-experiments -only persistbench -persist-out BENCH_persist.json
 
 ## examples: compile every example without running them
 examples:

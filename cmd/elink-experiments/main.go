@@ -55,6 +55,7 @@ var figures = []struct {
 	{"obs", experiments.ObsReplay},
 	{"routes", experiments.RoutesBench},
 	{"parbench", experiments.ParallelBench},
+	{"persistbench", experiments.PersistBench},
 }
 
 func validNames() string {
@@ -93,6 +94,7 @@ func main() {
 		obsOut   = flag.String("obs-out", "", "with the obs figure: write the instrumented run's full metrics registry to this file as JSON")
 		routeOut = flag.String("routes-out", "", "with the routes figure: write the routing benchmark results to this file as JSON")
 		parOut   = flag.String("par-out", "", "with the parbench figure: write the parallel-layer benchmark results to this file as JSON (run it via -only parbench so concurrent figures don't distort timings)")
+		persOut  = flag.String("persist-out", "", "with the persistbench figure: write the snapshot/restore benchmark results to this file as JSON (run it via -only persistbench so concurrent figures don't distort timings)")
 	)
 	flag.Parse()
 
@@ -162,6 +164,8 @@ func main() {
 			run = dumpTo(*routeOut, experiments.RoutesBenchTo)
 		case f.name == "parbench" && *parOut != "":
 			run = dumpTo(*parOut, experiments.ParallelBenchTo)
+		case f.name == "persistbench" && *persOut != "":
+			run = dumpTo(*persOut, experiments.PersistBenchTo)
 		}
 		selected = append(selected, figEntry{name: f.name, run: run})
 	}

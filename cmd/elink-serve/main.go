@@ -8,28 +8,41 @@
 //
 //	elink-serve -addr :8080 -rows 6 -cols 9 -order 4 -delta 0.12
 //
+// With -data-dir the daemon is durable: every ingested batch is
+// journaled to a write-ahead log, snapshots of the full engine state are
+// written periodically (-snapshot-every), on demand (POST
+// /admin/snapshot) and on graceful shutdown, and on boot the newest
+// valid snapshot is restored and the WAL tail replayed, recovering the
+// exact pre-crash state (see DESIGN.md, "Durability"). SIGINT/SIGTERM
+// trigger a graceful drain: in-flight requests finish (10s deadline),
+// then a final snapshot is written.
+//
 // Endpoints:
 //
-//	GET  /healthz          liveness + readiness ({"ok":true,"ready":...})
+//	GET  /healthz          readiness: 200 {"status":"ready"} once
+//	                       queryable, 503 {"status":"restoring"|"warming"}
+//	                       while recovering or bootstrapping
 //	POST /v1/ingest        {"readings":[{"node":0,"value":27.1},...]}
 //	                       or {"features":[{"node":0,"feature":[...]},...]}
 //	POST /v1/query/range   {"feature":[...],"radius":0.1,"initiator":0}
 //	POST /v1/query/path    {"danger":[...],"gamma":0.2,"src":0,"dst":53}
 //	GET  /v1/stats         cumulative engine counters
 //	GET  /v1/snapshot      current epoch's clustering
+//	POST /admin/snapshot   write a snapshot now (requires -data-dir)
 //	GET  /metrics          Prometheus text exposition of the obs registry
 //	GET  /debug/trace      last ?n= trace events as JSON lines
 //	GET  /debug/pprof/     runtime profiles (only with -pprof)
 //
 // Errors are JSON bodies {"error":"..."} with meaningful statuses: bad
-// payloads are 400, a warming-up engine is 503, engine-internal failures
-// are 500. Every request is logged with method, path, status and
-// duration, and counted in http_requests_total / timed in
+// payloads are 400, a warming-up or restoring engine is 503, engine-
+// internal failures are 500. Every request is logged with method, path,
+// status and duration, and counted in http_requests_total / timed in
 // http_request_duration_seconds (path labels are route patterns, so the
 // cardinality is fixed).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -38,8 +51,14 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"elink"
@@ -62,6 +81,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for topology and clustering runs")
 		tracebuf  = flag.Int("tracebuf", 0, "trace ring capacity (0 = default)")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+
+		dataDir   = flag.String("data-dir", "", "durability directory for snapshots + WAL (empty = no persistence)")
+		restore   = flag.Bool("restore", true, "restore from -data-dir on boot (false discards prior state)")
+		snapEvery = flag.Duration("snapshot-every", 0, "periodic background snapshot interval (0 = only on demand/shutdown)")
+		fsync     = flag.String("fsync", "always", "WAL fsync policy: always | interval | never")
 	)
 	flag.Parse()
 
@@ -101,12 +125,70 @@ func main() {
 		os.Exit(2)
 	}
 
-	srv := &server{engine: engine, reg: reg, tracer: tracer}
+	srv := &server{engine: engine, reg: reg, tracer: tracer, dataDir: *dataDir}
 	mux := newMux(srv, *withPprof)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *dataDir != "" {
+		pol, err := elink.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "elink-serve:", err)
+			os.Exit(2)
+		}
+		srv.walOpts = elink.WALOptions{Fsync: pol, Metrics: elink.NewWALMetrics(reg)}
+		// Recover asynchronously so the listener comes up immediately and
+		// /healthz can report "restoring"; every engine-touching endpoint
+		// returns 503 until recovery finishes.
+		srv.restoring.Store(true)
+		go func() {
+			if err := srv.recover(*restore); err != nil {
+				// A failed recovery must not silently degrade into a fresh
+				// engine — that would break the crash-exactness contract.
+				log.Fatalf("elink-serve: recovery failed: %v", err)
+			}
+			srv.restoring.Store(false)
+		}()
+		if *snapEvery > 0 {
+			go srv.snapshotLoop(ctx, *snapEvery)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		log.Printf("elink-serve: signal received, draining requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("elink-serve: shutdown: %v", err)
+		}
+	}()
 
 	log.Printf("elink-serve: %d nodes, order %d, delta %g, slack %g, policy %s, listening on %s",
 		g.N(), *order, *delta, s, pol, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "elink-serve:", err)
+		os.Exit(1)
+	}
+	<-shutdownDone
+
+	if *dataDir != "" && !srv.restoring.Load() {
+		if info, err := srv.writeSnapshot(); err != nil {
+			log.Printf("elink-serve: shutdown snapshot: %v", err)
+		} else {
+			log.Printf("elink-serve: shutdown snapshot: seq %d, epoch %d, %d bytes", info.Seq, info.Epoch, info.Bytes)
+		}
+		if srv.wal != nil {
+			if err := srv.wal.Close(); err != nil {
+				log.Printf("elink-serve: close WAL: %v", err)
+			}
+		}
+	}
+	log.Printf("elink-serve: stopped")
 }
 
 func parsePolicy(s string) (elink.ReclusterPolicy, error) {
@@ -125,6 +207,145 @@ type server struct {
 	engine *elink.Engine
 	reg    *elink.MetricsRegistry
 	tracer *elink.TraceBuffer
+
+	// Durability state (zero when -data-dir is unset).
+	dataDir string
+	walOpts elink.WALOptions
+	wal     *elink.WAL
+	// restoring gates every engine-touching endpoint during boot
+	// recovery; /healthz reports it as "restoring".
+	restoring atomic.Bool
+	// snapMu serializes snapshot-to-disk writers (the periodic loop, the
+	// admin endpoint and the shutdown path).
+	snapMu sync.Mutex
+}
+
+const snapSuffix = ".snap"
+
+// snapshotPath names the snapshot for one ingest sequence; lexical order
+// is sequence order, so directory listings sort oldest-first.
+func (s *server) snapshotPath(seq int64) string {
+	return filepath.Join(s.dataDir, fmt.Sprintf("snap-%016d%s", seq, snapSuffix))
+}
+
+// listSnapshots returns the data dir's snapshot files, newest first.
+func (s *server) listSnapshots() []string {
+	paths, _ := filepath.Glob(filepath.Join(s.dataDir, "snap-*"+snapSuffix))
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	return paths
+}
+
+// recover brings the engine back to its pre-crash state: newest valid
+// snapshot first (falling back to older ones if the newest is damaged),
+// then the WAL tail, then the WAL is attached for journaling. With
+// restore=false, prior state in the data dir is discarded instead — an
+// explicit fresh start.
+func (s *server) recover(restore bool) error {
+	walDir := filepath.Join(s.dataDir, "wal")
+	if !restore {
+		for _, p := range s.listSnapshots() {
+			if err := os.Remove(p); err != nil {
+				return fmt.Errorf("discard %s: %w", p, err)
+			}
+		}
+		if err := os.RemoveAll(walDir); err != nil {
+			return fmt.Errorf("discard WAL: %w", err)
+		}
+		log.Printf("elink-serve: -restore=false, discarded prior state in %s", s.dataDir)
+	}
+	if restore {
+		for _, p := range s.listSnapshots() {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			err = s.engine.Restore(f)
+			f.Close()
+			if err == nil {
+				log.Printf("elink-serve: restored %s (seq %d, epoch %d)", filepath.Base(p), s.engine.Seq(), s.engine.Snapshot().Epoch)
+				break
+			}
+			// A torn snapshot (crash mid-write before the rename, or disk
+			// damage) is expected to be survivable: fall back to the next-
+			// older one and let the WAL replay cover the difference.
+			log.Printf("elink-serve: snapshot %s unusable (%v), trying older", filepath.Base(p), err)
+		}
+	}
+	w, err := elink.OpenWAL(walDir, s.walOpts)
+	if err != nil {
+		return err
+	}
+	if restore {
+		n, err := s.engine.ReplayWAL(w)
+		if err != nil {
+			return err
+		}
+		if n > 0 {
+			log.Printf("elink-serve: replayed %d WAL batches, engine at seq %d", n, s.engine.Seq())
+		}
+	}
+	s.engine.AttachWAL(w)
+	s.wal = w
+	return nil
+}
+
+// writeSnapshot writes one snapshot atomically (temp file + rename),
+// prunes all but the newest 3, and lets the WAL drop fully covered
+// segments.
+func (s *server) writeSnapshot() (elink.SnapshotInfo, error) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	tmp, err := os.CreateTemp(s.dataDir, "snap-*.tmp")
+	if err != nil {
+		return elink.SnapshotInfo{}, err
+	}
+	info, err := s.engine.SaveSnapshot(tmp)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return info, err
+	}
+	if err := os.Rename(tmp.Name(), s.snapshotPath(info.Seq)); err != nil {
+		os.Remove(tmp.Name())
+		return info, err
+	}
+	if snaps := s.listSnapshots(); len(snaps) > 3 {
+		for _, p := range snaps[3:] {
+			os.Remove(p)
+		}
+	}
+	if s.wal != nil {
+		if err := s.wal.TruncateThrough(info.Seq); err != nil {
+			log.Printf("elink-serve: WAL truncate: %v", err)
+		}
+	}
+	return info, nil
+}
+
+// snapshotLoop writes periodic background snapshots until ctx ends.
+func (s *server) snapshotLoop(ctx context.Context, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if s.restoring.Load() {
+				continue
+			}
+			if info, err := s.writeSnapshot(); err != nil {
+				log.Printf("elink-serve: periodic snapshot: %v", err)
+			} else {
+				log.Printf("elink-serve: periodic snapshot: seq %d, epoch %d, %d bytes", info.Seq, info.Epoch, info.Bytes)
+			}
+		}
+	}
 }
 
 // newMux wires every route through the observe middleware; main and the
@@ -140,6 +361,7 @@ func newMux(s *server, withPprof bool) *http.ServeMux {
 	handle("POST", "/v1/query/path", s.pathQuery)
 	handle("GET", "/v1/stats", s.stats)
 	handle("GET", "/v1/snapshot", s.snapshot)
+	handle("POST", "/admin/snapshot", s.adminSnapshot)
 	handle("GET", "/metrics", s.metrics)
 	handle("GET", "/debug/trace", s.trace)
 	if withPprof {
@@ -186,6 +408,17 @@ func (s *server) observe(path string, h http.HandlerFunc) http.Handler {
 	})
 }
 
+// gate rejects engine-touching requests while boot recovery is running;
+// serving them against the half-restored engine would be wrong, and
+// accepting ingest would fork the journal.
+func (s *server) gate(w http.ResponseWriter) bool {
+	if s.restoring.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "restoring from snapshot"})
+		return false
+	}
+	return true
+}
+
 // ingestRequest carries either raw readings (engine fits AR models) or
 // pre-fitted features (nodes run their own models); exactly one must be
 // set.
@@ -207,11 +440,24 @@ type pathRequest struct {
 	Dst    elink.NodeID  `json:"dst"`
 }
 
+// health reports the boot state machine: restoring (recovery in flight)
+// → warming (models not yet bootstrapped) → ready. Only ready is 200, so
+// orchestrators hold traffic until the engine is actually queryable.
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "ready": s.engine.Ready()})
+	switch {
+	case s.restoring.Load():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": true, "ready": false, "status": "restoring"})
+	case !s.engine.Ready():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": true, "ready": false, "status": "warming"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true, "ready": true, "status": "ready"})
+	}
 }
 
 func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	var req ingestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -233,6 +479,9 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) rangeQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	var req rangeRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -250,6 +499,9 @@ func (s *server) rangeQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) pathQuery(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	var req pathRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -268,10 +520,16 @@ func (s *server) pathQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	writeJSON(w, http.StatusOK, s.engine.Stats())
 }
 
 func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
 	snap := s.engine.Snapshot()
 	if snap == nil {
 		writeError(w, http.StatusServiceUnavailable, elink.ErrNotReady)
@@ -282,6 +540,24 @@ func (s *server) snapshot(w http.ResponseWriter, r *http.Request) {
 		"clusters":   snap.NumClusters(),
 		"clustering": snap.Clustering,
 	})
+}
+
+// adminSnapshot writes a durable snapshot on demand and returns its
+// summary.
+func (s *server) adminSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.gate(w) {
+		return
+	}
+	if s.dataDir == "" {
+		writeError(w, http.StatusNotImplemented, fmt.Errorf("no -data-dir configured"))
+		return
+	}
+	info, err := s.writeSnapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // metrics serves the registry in Prometheus text exposition format.

@@ -37,10 +37,11 @@ func do(t *testing.T, mux *http.ServeMux, method, path, body string) *httptest.R
 func TestServeLifecycle(t *testing.T) {
 	_, mux := newTestServer(t)
 
-	// Not ready yet: queries and snapshot are 503, health reports it.
+	// Not ready yet: queries and snapshot are 503, and health is a 503
+	// "warming" until the engine is actually queryable.
 	w := do(t, mux, "GET", "/healthz", "")
-	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ready":false`) {
-		t.Fatalf("healthz = %d %s", w.Code, w.Body.String())
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), `"status":"warming"`) {
+		t.Fatalf("healthz = %d %s, want 503 warming", w.Code, w.Body.String())
 	}
 	if w = do(t, mux, "POST", "/v1/query/range", `{"feature":[0],"radius":1}`); w.Code != http.StatusServiceUnavailable {
 		t.Fatalf("range before bootstrap = %d, want 503", w.Code)
@@ -63,6 +64,12 @@ func TestServeLifecycle(t *testing.T) {
 	}
 	if !res.Ready || res.NumClusters != 2 {
 		t.Fatalf("ingest result %+v, want ready with 2 clusters", res)
+	}
+
+	// Health flips to a 200 "ready" once queryable.
+	w = do(t, mux, "GET", "/healthz", "")
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"status":"ready"`) {
+		t.Fatalf("healthz after bootstrap = %d %s, want 200 ready", w.Code, w.Body.String())
 	}
 
 	// Range query finds the low plateau.
@@ -204,6 +211,115 @@ func TestServeTraceEndpoint(t *testing.T) {
 	w = do(t, mux, "GET", "/debug/trace?n=bogus", "")
 	if w.Code != http.StatusBadRequest || !strings.Contains(w.Body.String(), `"error"`) {
 		t.Errorf("trace?n=bogus = %d %s, want JSON 400", w.Code, w.Body.String())
+	}
+}
+
+// TestServePersistence drives the crash-recovery path end to end at the
+// HTTP layer: ingest through a WAL-attached server, snapshot via the
+// admin endpoint, ingest more (covered only by the WAL), "crash", then
+// boot a second server over the same data dir and check it reports the
+// identical epoch, clustering and counters.
+func TestServePersistence(t *testing.T) {
+	dir := t.TempDir()
+
+	newPersistentServer := func() (*server, *http.ServeMux) {
+		t.Helper()
+		s, mux := newTestServer(t)
+		s.dataDir = dir
+		s.walOpts = elink.WALOptions{Fsync: elink.FsyncAlways}
+		if err := s.recover(true); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		return s, mux
+	}
+
+	s1, mux1 := newPersistentServer()
+	bootstrapTestServer(t, mux1)
+
+	// Snapshot on demand, then keep ingesting so a WAL tail exists.
+	w := do(t, mux1, "POST", "/admin/snapshot", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("admin snapshot = %d %s", w.Code, w.Body.String())
+	}
+	var info elink.SnapshotInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Seq != 1 || info.Bytes <= 0 {
+		t.Fatalf("snapshot info = %+v, want seq 1 and a positive size", info)
+	}
+	drift := `{"features":[{"node":2,"feature":[0.3]},{"node":4,"feature":[9.4]}]}`
+	if w = do(t, mux1, "POST", "/v1/ingest", drift); w.Code != http.StatusOK {
+		t.Fatalf("post-snapshot ingest = %d %s", w.Code, w.Body.String())
+	}
+	statsBefore := do(t, mux1, "GET", "/v1/stats", "").Body.String()
+	snapBefore := do(t, mux1, "GET", "/v1/snapshot", "").Body.String()
+	// Crash: no shutdown snapshot, no WAL close. The fsync-always journal
+	// must carry the post-snapshot batch on its own.
+
+	s2, mux2 := newPersistentServer()
+	if got := s2.engine.Seq(); got != s1.engine.Seq() {
+		t.Fatalf("recovered seq = %d, want %d", got, s1.engine.Seq())
+	}
+	if w = do(t, mux2, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz after recovery = %d %s", w.Code, w.Body.String())
+	}
+	snapAfter := do(t, mux2, "GET", "/v1/snapshot", "").Body.String()
+	if snapAfter != snapBefore {
+		t.Errorf("recovered /v1/snapshot = %s, want %s", snapAfter, snapBefore)
+	}
+	// Stats match except the wall-clock collection stamp.
+	strip := func(s string) string {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "collectedAt")
+		out, _ := json.Marshal(m)
+		return string(out)
+	}
+	if got, want := strip(do(t, mux2, "GET", "/v1/stats", "").Body.String()), strip(statsBefore); got != want {
+		t.Errorf("recovered /v1/stats = %s, want %s", got, want)
+	}
+}
+
+// TestServeRestoringGate checks that every engine-touching endpoint is a
+// 503 while boot recovery is in flight, and that /healthz names the
+// state.
+func TestServeRestoringGate(t *testing.T) {
+	s, mux := newTestServer(t)
+	s.restoring.Store(true)
+
+	w := do(t, mux, "GET", "/healthz", "")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), `"status":"restoring"`) {
+		t.Fatalf("healthz while restoring = %d %s, want 503 restoring", w.Code, w.Body.String())
+	}
+	for _, req := range []struct{ method, path, body string }{
+		{"POST", "/v1/ingest", `{"features":[{"node":0,"feature":[1]}]}`},
+		{"POST", "/v1/query/range", `{"feature":[0],"radius":1}`},
+		{"POST", "/v1/query/path", `{"danger":[0],"gamma":1}`},
+		{"GET", "/v1/stats", ""},
+		{"GET", "/v1/snapshot", ""},
+		{"POST", "/admin/snapshot", ""},
+	} {
+		if w := do(t, mux, req.method, req.path, req.body); w.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s %s while restoring = %d, want 503", req.method, req.path, w.Code)
+		}
+	}
+
+	s.restoring.Store(false)
+	bootstrapTestServer(t, mux)
+	if w := do(t, mux, "GET", "/v1/stats", ""); w.Code != http.StatusOK {
+		t.Errorf("stats after restore gate lifted = %d", w.Code)
+	}
+}
+
+// TestServeAdminSnapshotWithoutDataDir pins the ephemeral-mode answer.
+func TestServeAdminSnapshotWithoutDataDir(t *testing.T) {
+	_, mux := newTestServer(t)
+	bootstrapTestServer(t, mux)
+	if w := do(t, mux, "POST", "/admin/snapshot", ""); w.Code != http.StatusNotImplemented {
+		t.Errorf("admin snapshot without -data-dir = %d, want 501", w.Code)
 	}
 }
 

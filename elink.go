@@ -39,6 +39,7 @@ import (
 	"elink/internal/metric"
 	"elink/internal/obs"
 	"elink/internal/par"
+	"elink/internal/persist"
 	"elink/internal/query"
 	"elink/internal/sim"
 	"elink/internal/stream"
@@ -325,6 +326,56 @@ var ErrNotReady = stream.ErrNotReady
 // itself (unknown node, empty feature, wrong ingest mode); match with
 // errors.Is to separate caller mistakes from engine failures.
 var ErrInvalidBatch = stream.ErrInvalidBatch
+
+// Durability types, aliased from internal/persist. Engine.SaveSnapshot /
+// Engine.Restore write and load the full engine state; a WAL attached
+// with Engine.AttachWAL journals every ingested batch, and
+// Engine.ReplayWAL replays the tail past a restored snapshot — together
+// they give crash-exact recovery (see DESIGN.md, "Durability").
+type (
+	// WAL is the append-only, segmented journal of ingest batches.
+	WAL = persist.WAL
+	// WALOptions parameterizes OpenWAL (fsync policy, segment size).
+	WALOptions = persist.WALOptions
+	// FsyncPolicy selects when WAL appends reach stable storage.
+	FsyncPolicy = persist.FsyncPolicy
+	// SnapshotInfo summarizes one written engine snapshot.
+	SnapshotInfo = persist.SnapshotInfo
+)
+
+// WAL fsync policies.
+const (
+	// FsyncAlways flushes after every append (the durable default).
+	FsyncAlways = persist.FsyncAlways
+	// FsyncInterval flushes at most once per WALOptions.FsyncEvery.
+	FsyncInterval = persist.FsyncInterval
+	// FsyncNever leaves flushing to the operating system.
+	FsyncNever = persist.FsyncNever
+)
+
+// ErrCorrupt tags snapshot/WAL decode failures caused by damaged bytes
+// (bad magic, CRC mismatch, truncation); match with errors.Is.
+var ErrCorrupt = persist.ErrCorrupt
+
+// ErrSnapshotVersion tags decode failures caused by a format version
+// newer than this build understands.
+var ErrSnapshotVersion = persist.ErrVersion
+
+// ErrConfigMismatch is returned by Engine.Restore when the snapshot was
+// taken under a different engine configuration.
+var ErrConfigMismatch = stream.ErrConfigMismatch
+
+// OpenWAL opens (creating if needed) a write-ahead log in dir. Attach it
+// to an engine with Engine.AttachWAL after any restore/replay so
+// recovered batches are not re-journaled.
+func OpenWAL(dir string, opts WALOptions) (*WAL, error) { return persist.OpenWAL(dir, opts) }
+
+// ParseFsyncPolicy parses "always" | "interval" | "never".
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) { return persist.ParseFsyncPolicy(s) }
+
+// NewWALMetrics registers the WAL telemetry counters on reg for use as
+// WALOptions.Metrics.
+func NewWALMetrics(reg *MetricsRegistry) persist.WALMetrics { return persist.NewWALMetrics(reg) }
 
 // Observability types, aliased from internal/obs. Hand a registry and a
 // trace buffer to EngineConfig.Obs/Trace (or elink.Config.Obs/Trace for

@@ -1,0 +1,67 @@
+package ar
+
+import (
+	"fmt"
+
+	"elink/internal/linalg"
+)
+
+// State is the full serializable state of an online Model: everything
+// RLS needs to continue bit-for-bit from where it stopped. The snapshot
+// codec in internal/persist encodes it; FromState rebuilds the live
+// model. All slices are copies — a State never aliases the model that
+// produced it.
+type State struct {
+	Order int
+	Coef  []float64
+	// P is the (XXᵀ)⁻¹ covariance, row-major Order×Order.
+	P []float64
+	// Lags holds the most recent observations, newest first (may be
+	// shorter than Order while the model is still filling its window).
+	Lags []float64
+	Seen int
+}
+
+// State exports the model's complete RLS state.
+func (m *Model) State() State {
+	st := State{
+		Order: m.Order,
+		Coef:  append([]float64(nil), m.Coef...),
+		P:     append([]float64(nil), m.p.Data...),
+		Lags:  append([]float64(nil), m.lags...),
+		Seen:  m.seen,
+	}
+	return st
+}
+
+// FromState rebuilds a live model from exported state. It validates the
+// shape invariants so a corrupted snapshot surfaces as an error, never a
+// panic later in the RLS hot path.
+func FromState(st State) (*Model, error) {
+	if st.Order < 1 {
+		return nil, fmt.Errorf("ar: state order %d must be >= 1", st.Order)
+	}
+	if len(st.Coef) != st.Order {
+		return nil, fmt.Errorf("ar: state has %d coefficients for AR(%d)", len(st.Coef), st.Order)
+	}
+	if len(st.P) != st.Order*st.Order {
+		return nil, fmt.Errorf("ar: state P has %d entries, want %d", len(st.P), st.Order*st.Order)
+	}
+	if len(st.Lags) > st.Order {
+		return nil, fmt.Errorf("ar: state has %d lags for AR(%d)", len(st.Lags), st.Order)
+	}
+	if st.Seen < 0 {
+		return nil, fmt.Errorf("ar: state seen %d must be >= 0", st.Seen)
+	}
+	p := linalg.NewMatrix(st.Order, st.Order)
+	copy(p.Data, st.P)
+	m := &Model{
+		Order: st.Order,
+		Coef:  append([]float64(nil), st.Coef...),
+		p:     p,
+		lags:  make([]float64, len(st.Lags), st.Order),
+		seen:  st.Seen,
+	}
+	copy(m.lags, st.Lags)
+	return m, nil
+}

@@ -198,6 +198,18 @@ func (s *Stats) Add(other Stats) {
 	}
 }
 
+// Clone returns a deep copy of s (the Breakdown map is not shared).
+func (s Stats) Clone() Stats {
+	c := Stats{Messages: s.Messages, Time: s.Time}
+	if s.Breakdown != nil {
+		c.Breakdown = make(map[string]int64, len(s.Breakdown))
+		for k, v := range s.Breakdown {
+			c.Breakdown[k] = v
+		}
+	}
+	return c
+}
+
 // String renders the stats compactly with kinds sorted for determinism.
 func (s Stats) String() string {
 	kinds := make([]string, 0, len(s.Breakdown))

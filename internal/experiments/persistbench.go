@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"elink/internal/metric"
+	"elink/internal/stream"
+	"elink/internal/topology"
+)
+
+// persistBenchSizes is the snapshot/restore ladder: the paper's Death
+// Valley scale (2500) bracketed by a small deployment and a 4x stretch.
+var persistBenchSizes = []int{500, 2500, 10000}
+
+// persistBenchReps repeats each timed operation and keeps the minimum,
+// the standard way to strip scheduler noise from sub-second wall times.
+const persistBenchReps = 5
+
+// persistBenchRow is one ladder rung in BENCH_persist.json.
+type persistBenchRow struct {
+	N          int     `json:"n"`
+	SnapshotMs float64 `json:"snapshot_ms"`
+	RestoreMs  float64 `json:"restore_ms"`
+	Bytes      int64   `json:"bytes"`
+	BytesPerN  float64 `json:"bytes_per_node"`
+}
+
+// persistBenchResult is the machine-readable BENCH_persist.json payload
+// the Makefile's bench-persist target tracks across commits.
+type persistBenchResult struct {
+	Reps int               `json:"reps"`
+	Rows []persistBenchRow `json:"rows"`
+}
+
+// persistBenchEngine builds a bootstrapped feature-mode engine over a
+// random geometric network of n nodes, plus a few drift epochs so the
+// maintainer and telemetry sections carry real state. The graph comes
+// back too so the restore arm can build a twin engine.
+func persistBenchEngine(n int, seed int64) (*stream.Engine, *topology.Graph, stream.Config, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g := topology.RandomGeometricForDegree(n, 4, rng)
+	cfg := stream.Config{
+		Order:  0,
+		Delta:  1.0,
+		Slack:  0.1,
+		Metric: metric.Euclidean{},
+		Seed:   seed,
+	}
+	e, err := stream.New(g, cfg)
+	if err != nil {
+		return nil, nil, cfg, err
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		batch := make([]stream.FeatureUpdate, n)
+		for u := 0; u < n; u++ {
+			batch[u] = stream.FeatureUpdate{
+				Node:    topology.NodeID(u),
+				Feature: metric.Feature{float64(u%8)*3 + 0.05*float64(epoch), float64(u % 5)},
+			}
+		}
+		if _, err := e.IngestFeatures(batch); err != nil {
+			return nil, nil, cfg, err
+		}
+	}
+	return e, g, cfg, nil
+}
+
+// PersistBench measures the durability layer's snapshot and restore
+// paths on bootstrapped engines at 500/2500/10000 nodes: encode latency,
+// decode+rebuild latency, and the snapshot size. Engine construction
+// (the dominant cost at 10k nodes) happens outside every timed region.
+func PersistBench(sc Scale) (*Table, error) { return PersistBenchTo(sc, nil) }
+
+// PersistBenchTo is PersistBench with an optional writer receiving the
+// results as JSON (nil skips the dump).
+func PersistBenchTo(sc Scale, dump io.Writer) (*Table, error) {
+	res := persistBenchResult{Reps: persistBenchReps}
+
+	t := &Table{
+		Title:   "Persistbench: engine snapshot encode / restore decode (wall ms, best of reps)",
+		XLabel:  "n",
+		Columns: []string{"snapshot-ms", "restore-ms", "bytes", "bytes-per-node"},
+	}
+	for _, n := range persistBenchSizes {
+		eng, g, cfg, err := persistBenchEngine(n, sc.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: persistbench n=%d setup: %w", n, err)
+		}
+
+		var raw []byte
+		snapBest := time.Duration(1<<63 - 1)
+		for rep := 0; rep < persistBenchReps; rep++ {
+			var buf bytes.Buffer
+			start := time.Now()
+			if _, err := eng.SaveSnapshot(&buf); err != nil {
+				return nil, fmt.Errorf("experiments: persistbench n=%d snapshot: %w", n, err)
+			}
+			if d := time.Since(start); d < snapBest {
+				snapBest = d
+			}
+			raw = buf.Bytes()
+		}
+
+		restBest := time.Duration(1<<63 - 1)
+		for rep := 0; rep < persistBenchReps; rep++ {
+			fresh, err := stream.New(g, cfg)
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := fresh.Restore(bytes.NewReader(raw)); err != nil {
+				return nil, fmt.Errorf("experiments: persistbench n=%d restore: %w", n, err)
+			}
+			if d := time.Since(start); d < restBest {
+				restBest = d
+			}
+		}
+
+		row := persistBenchRow{
+			N:          n,
+			SnapshotMs: float64(snapBest.Microseconds()) / 1000,
+			RestoreMs:  float64(restBest.Microseconds()) / 1000,
+			Bytes:      int64(len(raw)),
+			BytesPerN:  float64(len(raw)) / float64(n),
+		}
+		res.Rows = append(res.Rows, row)
+		t.AddRow(float64(n), row.SnapshotMs, row.RestoreMs, float64(row.Bytes), row.BytesPerN)
+	}
+
+	t.Notes = []string{
+		sc.note(),
+		fmt.Sprintf("feature-mode engines (order 0, delta 1.0), 4 drift epochs ingested; best of %d reps; encode to memory, restore rebuilds models+maintainer+index", persistBenchReps),
+	}
+
+	if dump != nil {
+		enc := json.NewEncoder(dump)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return nil, fmt.Errorf("experiments: dump persist bench: %w", err)
+		}
+	}
+	return t, nil
+}

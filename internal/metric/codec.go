@@ -1,0 +1,43 @@
+package metric
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary feature codec. Features cross process lifetimes inside engine
+// snapshots and WAL records (internal/persist), so the encoding is fixed
+// little-endian and versionless: a uint32 coordinate count followed by
+// the IEEE-754 bits of each coordinate. Round-tripping is exact — the
+// bit pattern of every float64 is preserved, which the crash-recovery
+// determinism contract depends on.
+
+// AppendBinary appends f's binary encoding to dst and returns the
+// extended slice.
+func (f Feature) AppendBinary(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(f)))
+	for _, v := range f {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// DecodeFeature decodes one feature from the front of b, returning the
+// feature and the remaining bytes. It never panics: short or oversized
+// inputs yield an error.
+func DecodeFeature(b []byte) (Feature, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("metric: truncated feature header (%d bytes)", len(b))
+	}
+	n := int(binary.LittleEndian.Uint32(b))
+	b = b[4:]
+	if n*8 > len(b) || n < 0 {
+		return nil, nil, fmt.Errorf("metric: feature claims %d coordinates, only %d bytes follow", n, len(b))
+	}
+	f := make(Feature, n)
+	for i := range f {
+		f[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return f, b[n*8:], nil
+}

@@ -1,0 +1,48 @@
+package persist
+
+import "elink/internal/obs"
+
+// WALMetrics carries the WAL's telemetry handles. The zero value is
+// inert — every method is safe on unset handles — so callers without a
+// registry pass nothing.
+type WALMetrics struct {
+	Records  *obs.Counter // persist_wal_records_total
+	Bytes    *obs.Counter // persist_wal_bytes_total
+	Fsyncs   *obs.Counter // persist_wal_fsyncs_total
+	Replayed *obs.Counter // persist_wal_replayed_records_total
+}
+
+// NewWALMetrics registers the WAL counter set on reg. A nil registry
+// yields the inert zero value.
+func NewWALMetrics(reg *obs.Registry) WALMetrics {
+	if reg == nil {
+		return WALMetrics{}
+	}
+	return WALMetrics{
+		Records:  reg.Counter("persist_wal_records_total"),
+		Bytes:    reg.Counter("persist_wal_bytes_total"),
+		Fsyncs:   reg.Counter("persist_wal_fsyncs_total"),
+		Replayed: reg.Counter("persist_wal_replayed_records_total"),
+	}
+}
+
+func (m WALMetrics) appended(frameBytes int64) {
+	if m.Records != nil {
+		m.Records.Inc()
+	}
+	if m.Bytes != nil {
+		m.Bytes.Add(frameBytes)
+	}
+}
+
+func (m WALMetrics) synced() {
+	if m.Fsyncs != nil {
+		m.Fsyncs.Inc()
+	}
+}
+
+func (m WALMetrics) replayed() {
+	if m.Replayed != nil {
+		m.Replayed.Inc()
+	}
+}

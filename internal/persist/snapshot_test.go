@@ -1,0 +1,224 @@
+package persist_test
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"elink/internal/metric"
+	"elink/internal/persist"
+	"elink/internal/stream"
+	"elink/internal/topology"
+)
+
+// readyEngineBytes builds a real bootstrapped engine and returns its
+// snapshot encoding — the richest state the codec must round-trip
+// (models, maintainer, index, telemetry all populated).
+func readyEngineBytes(t testing.TB) []byte {
+	t.Helper()
+	g := topology.NewGrid(3, 4)
+	e, err := stream.New(g, stream.Config{
+		Order: 2, Delta: 1.0, Slack: 0.1, Metric: metric.Euclidean{}, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 10; batch++ {
+		readings := make([]stream.Reading, g.N())
+		for u := range readings {
+			base := float64(u%4) * 3
+			readings[u] = stream.Reading{Node: topology.NodeID(u), Value: base + 0.1*float64(batch)}
+		}
+		if _, err := e.Ingest(readings); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// warmupEngineBytes returns a snapshot of an engine still warming up
+// (no maintainer/index sections).
+func warmupEngineBytes(t testing.TB) []byte {
+	t.Helper()
+	g := topology.NewGrid(2, 3)
+	e, err := stream.New(g, stream.Config{
+		Order: 3, Delta: 1.0, Slack: 0.1, Metric: metric.Euclidean{}, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]stream.Reading{{Node: 0, Value: 1}, {Node: 1, Value: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := e.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSnapshotRoundTripDeterministic decodes a real snapshot and
+// re-encodes it: the bytes must be identical. This pins both directions
+// of the codec at once — every field decoded is every field encoded, in
+// a canonical order.
+func TestSnapshotRoundTripDeterministic(t *testing.T) {
+	for name, raw := range map[string][]byte{
+		"ready":  readyEngineBytes(t),
+		"warmup": warmupEngineBytes(t),
+	} {
+		st, err := persist.ReadSnapshot(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		var buf bytes.Buffer
+		n, err := persist.WriteSnapshot(&buf, st)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if n != int64(len(raw)) || !bytes.Equal(buf.Bytes(), raw) {
+			t.Errorf("%s: re-encoded snapshot differs (%d bytes vs %d)", name, n, len(raw))
+		}
+	}
+}
+
+// TestSnapshotDecodeRejectsDamage drives the decoder through the
+// failure modes recovery must survive: truncation at every prefix
+// length, a bit flip in every byte, and a wrong format version. All of
+// them must produce an error (never a panic); bit flips that land in
+// skippable padding-free sections must be caught by the CRC.
+func TestSnapshotDecodeRejectsDamage(t *testing.T) {
+	raw := readyEngineBytes(t)
+
+	t.Run("truncations", func(t *testing.T) {
+		step := len(raw)/97 + 1 // sample prefixes, ends included
+		for n := 0; n < len(raw); n += step {
+			if _, err := persist.ReadSnapshot(bytes.NewReader(raw[:n])); err == nil {
+				t.Fatalf("truncation to %d of %d bytes decoded successfully", n, len(raw))
+			}
+		}
+		if _, err := persist.ReadSnapshot(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+			t.Fatal("dropping the final byte decoded successfully")
+		}
+	})
+
+	t.Run("bitflips", func(t *testing.T) {
+		step := len(raw)/997 + 1
+		for off := 0; off < len(raw); off += step {
+			mut := append([]byte(nil), raw...)
+			mut[off] ^= 0x40
+			st, err := persist.ReadSnapshot(bytes.NewReader(mut))
+			if err == nil {
+				// A flip inside a section payload must fail its CRC; the
+				// only way a flip can decode is if it never reached a
+				// checked region, which the framing makes impossible.
+				t.Fatalf("bit flip at offset %d decoded successfully (%+v)", off, st.Config)
+			}
+		}
+	})
+
+	t.Run("wrong-version", func(t *testing.T) {
+		mut := append([]byte(nil), raw...)
+		mut[8] = 0xFE // version u32 little-endian starts after the 8-byte magic
+		_, err := persist.ReadSnapshot(bytes.NewReader(mut))
+		if !errors.Is(err, persist.ErrVersion) {
+			t.Fatalf("future version error = %v, want ErrVersion", err)
+		}
+	})
+
+	t.Run("bad-magic", func(t *testing.T) {
+		mut := append([]byte(nil), raw...)
+		mut[0] = 'X'
+		_, err := persist.ReadSnapshot(bytes.NewReader(mut))
+		if !errors.Is(err, persist.ErrCorrupt) {
+			t.Fatalf("bad magic error = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("empty", func(t *testing.T) {
+		if _, err := persist.ReadSnapshot(bytes.NewReader(nil)); err == nil {
+			t.Fatal("empty input decoded successfully")
+		}
+	})
+}
+
+// TestSnapshotSkipsUnknownSections pins the additive-evolution contract:
+// a snapshot carrying a section tag this build does not know decodes
+// fine as long as the section's framing and CRC are intact.
+func TestSnapshotSkipsUnknownSections(t *testing.T) {
+	raw := warmupEngineBytes(t)
+	// Splice an unknown section (tag 0x7E) right before the end marker.
+	// Sections are framed [tag u8][len u32][payload][crc u32]; the end
+	// marker is the last 10 bytes (tag + len 0 + crc of empty).
+	endLen := 1 + 4 + 4
+	payload := []byte("future-field")
+	section := make([]byte, 0, 9+len(payload))
+	section = append(section, 0x7E)
+	section = append(section, byte(len(payload)), 0, 0, 0)
+	section = append(section, payload...)
+	crc := crc32IEEE(payload)
+	section = append(section, byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+
+	spliced := append([]byte(nil), raw[:len(raw)-endLen]...)
+	spliced = append(spliced, section...)
+	spliced = append(spliced, raw[len(raw)-endLen:]...)
+
+	st, err := persist.ReadSnapshot(bytes.NewReader(spliced))
+	if err != nil {
+		t.Fatalf("decode with unknown section: %v", err)
+	}
+	if st.Config.Nodes != 6 {
+		t.Errorf("decoded %d nodes, want 6", st.Config.Nodes)
+	}
+}
+
+func crc32IEEE(b []byte) uint32 {
+	const poly = 0xedb88320
+	crc := ^uint32(0)
+	for _, v := range b {
+		crc ^= uint32(v)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// FuzzSnapshotDecode proves the decoder never panics: arbitrary bytes
+// either decode into a state that re-encodes cleanly or fail with an
+// error. Truncations and bit flips of two real snapshots seed the
+// corpus so the fuzzer starts deep inside the format.
+func FuzzSnapshotDecode(f *testing.F) {
+	ready := readyEngineBytes(f)
+	warm := warmupEngineBytes(f)
+	f.Add(ready)
+	f.Add(warm)
+	f.Add(ready[:len(ready)/2])
+	f.Add([]byte("ELNKSNAP"))
+	f.Add([]byte{})
+	mut := append([]byte(nil), ready...)
+	mut[len(mut)/3] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := persist.ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			if !strings.Contains(err.Error(), "persist:") {
+				t.Errorf("error %v does not carry the package prefix", err)
+			}
+			return
+		}
+		// Whatever decoded must re-encode without panicking.
+		if _, err := persist.WriteSnapshot(&bytes.Buffer{}, st); err != nil {
+			t.Errorf("decoded state does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package persist_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"elink/internal/persist"
+)
+
+func readingsRecord(seq int64, n int) *persist.BatchRecord {
+	rec := &persist.BatchRecord{Seq: seq, Kind: persist.RecordReadings}
+	for i := 0; i < n; i++ {
+		rec.Nodes = append(rec.Nodes, int64(i))
+		rec.Values = append(rec.Values, float64(seq)+0.25*float64(i))
+	}
+	return rec
+}
+
+func collect(t *testing.T, w *persist.WAL, afterSeq int64) []*persist.BatchRecord {
+	t.Helper()
+	var got []*persist.BatchRecord
+	if err := w.Replay(afterSeq, func(rec *persist.BatchRecord) error {
+		got = append(got, rec)
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got
+}
+
+func TestWALAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []*persist.BatchRecord{
+		readingsRecord(1, 3),
+		{Seq: 2, Kind: persist.RecordFeatures, Nodes: []int64{0, 2}, Features: [][]float64{{1.5}, {2.5, -0.125}}},
+		readingsRecord(3, 1),
+	}
+	for _, rec := range want {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh handle over the same dir replays everything, in order.
+	r, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, r, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("replayed %+v, want %+v", got, want)
+	}
+	// afterSeq skips the covered prefix.
+	if got := collect(t, r, 2); len(got) != 1 || got[0].Seq != 3 {
+		t.Errorf("replay after seq 2 = %+v, want just seq 3", got)
+	}
+}
+
+func TestWALAppendRejectsStaleSeq(t *testing.T) {
+	w, err := persist.OpenWAL(t.TempDir(), persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(readingsRecord(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(readingsRecord(5, 1)); err == nil {
+		t.Error("append with a non-advancing seq succeeded")
+	}
+}
+
+// TestWALTruncatedTail is the crash-mid-append scenario: the final
+// record of the newest segment is torn, and replay must stop cleanly at
+// the last intact record instead of erroring out.
+func TestWALTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	w, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 3; seq++ {
+		if err := w.Append(readingsRecord(seq, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments %v, err %v; want exactly one", segs, err)
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cut := range []int{1, 5, 17} { // inside CRC, payload, length prefix
+		if err := os.WriteFile(segs[0], data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r, err := persist.OpenWAL(dir, persist.WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(t, r, 0)
+		if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+			t.Errorf("cut %d: replayed %d records, want the 2 intact ones", cut, len(got))
+		}
+	}
+}
+
+// TestWALCorruptMiddleSegmentFails pins the other side of the tail
+// tolerance: damage in a non-final segment cannot be skipped, because
+// the records after it would replay out of order.
+func TestWALCorruptMiddleSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments so every record rotates into its own file.
+	w, err := persist.OpenWAL(dir, persist.WALOptions{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 3; seq++ {
+		if err := w.Append(readingsRecord(seq, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 3 {
+		t.Fatalf("%d segments, want 3", len(segs))
+	}
+
+	data, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-3] ^= 0xFF
+	if err := os.WriteFile(segs[1], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.Replay(0, func(*persist.BatchRecord) error { return nil })
+	if !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("replay over corrupt middle segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWALRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	w, err := persist.OpenWAL(dir, persist.WALOptions{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 4; seq++ {
+		if err := w.Append(readingsRecord(seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything up to seq 2 is covered by a snapshot: the first two
+	// sealed segments go, the rest stay.
+	if err := w.TruncateThrough(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, w, 0); len(got) != 2 || got[0].Seq != 3 {
+		t.Errorf("after truncate, replay = %+v, want seqs 3..4", got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: appends land in a fresh segment past the survivors.
+	r, err := persist.OpenWAL(dir, persist.WALOptions{SegmentBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(readingsRecord(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, r, 2); len(got) != 3 || got[2].Seq != 5 {
+		t.Errorf("after reopen+append, replay = %d records, want 3", len(got))
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for s, want := range map[string]persist.FsyncPolicy{
+		"always": persist.FsyncAlways, "INTERVAL": persist.FsyncInterval, "never": persist.FsyncNever,
+	} {
+		got, err := persist.ParseFsyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseFsyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() == "unknown" {
+			t.Errorf("%v renders as unknown", got)
+		}
+	}
+	if _, err := persist.ParseFsyncPolicy("sometimes"); err == nil {
+		t.Error("bogus policy parsed successfully")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"elink/internal/elink"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/persist"
 	"elink/internal/query"
 	"elink/internal/topology"
 	"elink/internal/update"
@@ -37,7 +38,14 @@ type Engine struct {
 
 	// mu serializes the ingest/maintenance path and guards every field
 	// below it. Queries never take it.
-	mu          sync.Mutex
+	mu sync.Mutex
+	// seq counts successfully applied ingest batches (warmup included).
+	// Snapshots record it and WAL records carry it, so recovery knows
+	// exactly where the snapshot ends and the journal tail begins.
+	seq int64
+	// wal, when attached, journals every applied batch (journal-after-
+	// commit: the record is appended only once the batch took effect).
+	wal         *persist.WAL
 	models      []*ar.Model // nil when Order == 0 (feature-push deployments)
 	feats       []metric.Feature
 	warm        int    // nodes whose models have reached WarmupObs
@@ -147,16 +155,43 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	res, err := e.ingestLocked(batch)
+	if err != nil {
+		return nil, err
+	}
+	e.seq++
+	if e.wal != nil {
+		nodes := make([]int64, len(batch))
+		values := make([]float64, len(batch))
+		for i, r := range batch {
+			nodes[i], values[i] = int64(r.Node), r.Value
+		}
+		if err := e.journalLocked(&persist.BatchRecord{
+			Kind: persist.RecordReadings, Nodes: nodes, Values: values,
+		}); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// ingestLocked validates the whole batch up front, then applies it, so a
+// rejected batch leaves the engine untouched — the invariant the WAL
+// relies on (an invalid batch is never journaled, a journaled batch
+// replays without partial-application ambiguity).
+func (e *Engine) ingestLocked(batch []Reading) (*IngestResult, error) {
 	if e.models == nil {
 		return nil, fmt.Errorf("%w: engine configured with Order=0 ingests features only (use IngestFeatures)", ErrInvalidBatch)
+	}
+	for _, r := range batch {
+		if int(r.Node) < 0 || int(r.Node) >= e.g.N() {
+			return nil, fmt.Errorf("%w: reading for node %d outside [0,%d)", ErrInvalidBatch, r.Node, e.g.N())
+		}
 	}
 
 	res := &IngestResult{}
 	touched := make(map[topology.NodeID]bool)
 	for _, r := range batch {
-		if int(r.Node) < 0 || int(r.Node) >= e.g.N() {
-			return nil, fmt.Errorf("%w: reading for node %d outside [0,%d)", ErrInvalidBatch, r.Node, e.g.N())
-		}
 		m := e.models[r.Node]
 		before := m.Seen()
 		if m.Observe(r.Value) {
@@ -195,9 +230,29 @@ func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	res, err := e.ingestFeaturesLocked(batch)
+	if err != nil {
+		return nil, err
+	}
+	e.seq++
+	if e.wal != nil {
+		nodes := make([]int64, len(batch))
+		features := make([][]float64, len(batch))
+		for i, up := range batch {
+			nodes[i], features[i] = int64(up.Node), up.Feature
+		}
+		if err := e.journalLocked(&persist.BatchRecord{
+			Kind: persist.RecordFeatures, Nodes: nodes, Features: features,
+		}); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
 
-	res := &IngestResult{}
-	touched := make(map[topology.NodeID]bool)
+// ingestFeaturesLocked validates the whole batch up front, then applies
+// it (see ingestLocked for why).
+func (e *Engine) ingestFeaturesLocked(batch []FeatureUpdate) (*IngestResult, error) {
 	for _, up := range batch {
 		if int(up.Node) < 0 || int(up.Node) >= e.g.N() {
 			return nil, fmt.Errorf("%w: feature update for node %d outside [0,%d)", ErrInvalidBatch, up.Node, e.g.N())
@@ -205,6 +260,11 @@ func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
 		if len(up.Feature) == 0 {
 			return nil, fmt.Errorf("%w: empty feature for node %d", ErrInvalidBatch, up.Node)
 		}
+	}
+
+	res := &IngestResult{}
+	touched := make(map[topology.NodeID]bool)
+	for _, up := range batch {
 		e.feats[up.Node] = up.Feature.Clone()
 		if !e.featSet[up.Node] {
 			e.featSet[up.Node] = true

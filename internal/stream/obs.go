@@ -1,6 +1,11 @@
 package stream
 
-import "elink/internal/obs"
+import (
+	"time"
+
+	"elink/internal/obs"
+	"elink/internal/persist"
+)
 
 // engineObs caches the engine's metric handles so the per-epoch hot path
 // never re-resolves label sets. The zero value is the off state: every
@@ -16,6 +21,15 @@ type engineObs struct {
 	reclusters *obs.Counter
 	rebuilds   *obs.Counter
 	refresh    *obs.Counter
+
+	snapTotal    *obs.Counter
+	snapBytes    *obs.Counter
+	snapSeconds  *obs.Histogram
+	restTotal    *obs.Counter
+	restSeconds  *obs.Histogram
+	replayTotal  *obs.Counter
+	snapLastSeq  *obs.Gauge
+	snapLastSize *obs.Gauge
 
 	tracer *obs.Tracer
 }
@@ -37,10 +51,27 @@ func newEngineObs(reg *obs.Registry, tr *obs.Tracer) engineObs {
 	eo.clusters = reg.Gauge("engine_clusters")
 	eo.frag = reg.Gauge("engine_fragmentation")
 	eo.depth = reg.Gauge("engine_index_depth")
+	reg.Help("persist_snapshot_total", "Engine snapshots written.")
+	reg.Help("persist_snapshot_bytes_total", "Snapshot bytes written.")
+	reg.Help("persist_snapshot_seconds", "Snapshot capture+write latency.")
+	reg.Help("persist_snapshot_last_seq", "Ingest sequence of the newest snapshot.")
+	reg.Help("persist_snapshot_last_bytes", "Size of the newest snapshot.")
+	reg.Help("persist_restore_total", "Snapshot restores applied.")
+	reg.Help("persist_restore_seconds", "Snapshot restore latency.")
+	reg.Help("persist_replayed_batches_total", "WAL batches replayed during recovery.")
 	eo.readings = reg.Counter("engine_readings_total")
 	eo.reclusters = reg.Counter("engine_reclusters_total")
 	eo.rebuilds = reg.Counter("engine_index_rebuilds_total")
 	eo.refresh = reg.Counter("engine_index_refresh_messages_total")
+	durBuckets := []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+	eo.snapTotal = reg.Counter("persist_snapshot_total")
+	eo.snapBytes = reg.Counter("persist_snapshot_bytes_total")
+	eo.snapSeconds = reg.Histogram("persist_snapshot_seconds", durBuckets)
+	eo.snapLastSeq = reg.Gauge("persist_snapshot_last_seq")
+	eo.snapLastSize = reg.Gauge("persist_snapshot_last_bytes")
+	eo.restTotal = reg.Counter("persist_restore_total")
+	eo.restSeconds = reg.Histogram("persist_restore_seconds", durBuckets)
+	eo.replayTotal = reg.Counter("persist_replayed_batches_total")
 	return eo
 }
 
@@ -61,4 +92,24 @@ func (eo *engineObs) publish(epoch int64, clusters int, frag float64, depth int)
 			"index_depth":   float64(depth),
 		},
 	})
+}
+
+// snapshot records one written snapshot.
+func (eo *engineObs) snapshot(info persist.SnapshotInfo) {
+	eo.snapTotal.Inc()
+	eo.snapBytes.Add(info.Bytes)
+	eo.snapSeconds.Observe(info.Duration.Seconds())
+	eo.snapLastSeq.Set(float64(info.Seq))
+	eo.snapLastSize.Set(float64(info.Bytes))
+}
+
+// restore records one applied snapshot restore.
+func (eo *engineObs) restore(d time.Duration) {
+	eo.restTotal.Inc()
+	eo.restSeconds.Observe(d.Seconds())
+}
+
+// replayed records recovered WAL batches.
+func (eo *engineObs) replayed(n int64) {
+	eo.replayTotal.Add(n)
 }

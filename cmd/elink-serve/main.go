@@ -21,7 +21,9 @@
 //
 //	GET  /healthz          readiness: 200 {"status":"ready"} once
 //	                       queryable, 503 {"status":"restoring"|"warming"}
-//	                       while recovering or bootstrapping
+//	                       while recovering or bootstrapping, 503
+//	                       {"status":"diverged"} after a WAL append
+//	                       failure (restart to recover)
 //	POST /v1/ingest        {"readings":[{"node":0,"value":27.1},...]}
 //	                       or {"features":[{"node":0,"feature":[...]},...]}
 //	POST /v1/query/range   {"feature":[...],"radius":0.1,"initiator":0}
@@ -242,6 +244,15 @@ func (s *server) listSnapshots() []string {
 // explicit fresh start.
 func (s *server) recover(restore bool) error {
 	walDir := filepath.Join(s.dataDir, "wal")
+	// Sweep temp files a crash mid-snapshot left behind. They were never
+	// renamed into place, so they are not recovery points — just garbage
+	// that would otherwise accumulate forever.
+	if tmps, _ := filepath.Glob(filepath.Join(s.dataDir, "snap-*.tmp")); len(tmps) > 0 {
+		for _, p := range tmps {
+			os.Remove(p)
+		}
+		log.Printf("elink-serve: swept %d stale snapshot temp file(s)", len(tmps))
+	}
 	if !restore {
 		for _, p := range s.listSnapshots() {
 			if err := os.Remove(p); err != nil {
@@ -314,17 +325,35 @@ func (s *server) writeSnapshot() (elink.SnapshotInfo, error) {
 		os.Remove(tmp.Name())
 		return info, err
 	}
-	if snaps := s.listSnapshots(); len(snaps) > 3 {
+	snaps := s.listSnapshots()
+	if len(snaps) > 3 {
 		for _, p := range snaps[3:] {
 			os.Remove(p)
 		}
+		snaps = snaps[:3]
 	}
-	if s.wal != nil {
-		if err := s.wal.TruncateThrough(info.Seq); err != nil {
-			log.Printf("elink-serve: WAL truncate: %v", err)
+	// Truncate only through the OLDEST retained snapshot: recover() falls
+	// back to older snapshots when the newest is damaged, and that fallback
+	// needs the WAL records past the older snapshot's seq to still exist.
+	// Truncating through the newest seq would make every snapshot but the
+	// newest an unusable recovery point.
+	if s.wal != nil && len(snaps) > 0 {
+		if seq, ok := snapshotSeq(snaps[len(snaps)-1]); ok {
+			if err := s.wal.TruncateThrough(seq); err != nil {
+				log.Printf("elink-serve: WAL truncate: %v", err)
+			}
 		}
 	}
 	return info, nil
+}
+
+// snapshotSeq recovers the ingest sequence number embedded in a
+// snapshot's file name by snapshotPath.
+func snapshotSeq(path string) (int64, bool) {
+	base := strings.TrimSuffix(filepath.Base(path), snapSuffix)
+	base = strings.TrimPrefix(base, "snap-")
+	seq, err := strconv.ParseInt(base, 10, 64)
+	return seq, err == nil && seq >= 0
 }
 
 // snapshotLoop writes periodic background snapshots until ctx ends.
@@ -442,11 +471,16 @@ type pathRequest struct {
 
 // health reports the boot state machine: restoring (recovery in flight)
 // → warming (models not yet bootstrapped) → ready. Only ready is 200, so
-// orchestrators hold traffic until the engine is actually queryable.
+// orchestrators hold traffic until the engine is actually queryable. A
+// diverged engine (a batch applied but never journaled — see
+// elink.ErrWALDiverged) reports 503 "diverged" so the orchestrator
+// restarts the process; recovery rebuilds exactly the journaled state.
 func (s *server) health(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.restoring.Load():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": true, "ready": false, "status": "restoring"})
+	case s.engine.Diverged() != nil:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "ready": false, "status": "diverged"})
 	case !s.engine.Ready():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": true, "ready": false, "status": "warming"})
 	default:
@@ -601,11 +635,17 @@ func queryStatus(err error) int {
 }
 
 // ingestStatus maps ingest errors: payload mistakes (tagged
-// ErrInvalidBatch) are the caller's fault, anything else is an engine
+// ErrInvalidBatch) are the caller's fault, a diverged journal is 503 —
+// retrying against this process cannot succeed (and must not: the
+// engine latched read-only so a retry of an already-applied batch is
+// rejected rather than double-applied) — and anything else is an engine
 // failure.
 func ingestStatus(err error) int {
-	if errors.Is(err, elink.ErrInvalidBatch) {
+	switch {
+	case errors.Is(err, elink.ErrInvalidBatch):
 		return http.StatusBadRequest
+	case errors.Is(err, elink.ErrWALDiverged):
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusInternalServerError
 }

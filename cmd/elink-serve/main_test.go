@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"strings"
 	"testing"
 
@@ -269,6 +271,75 @@ func TestServePersistence(t *testing.T) {
 		t.Errorf("recovered /v1/snapshot = %s, want %s", snapAfter, snapBefore)
 	}
 	// Stats match except the wall-clock collection stamp.
+	strip := func(s string) string {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			t.Fatal(err)
+		}
+		delete(m, "collectedAt")
+		out, _ := json.Marshal(m)
+		return string(out)
+	}
+	if got, want := strip(do(t, mux2, "GET", "/v1/stats", "").Body.String()), strip(statsBefore); got != want {
+		t.Errorf("recovered /v1/stats = %s, want %s", got, want)
+	}
+}
+
+// TestServeSnapshotFallbackSurvivesTruncation pins the retention
+// contract: pruning keeps the newest 3 snapshots, and the WAL keeps
+// every record past the OLDEST retained one — so when the newest
+// snapshot turns out to be damaged, recovery can still fall back to an
+// older snapshot and replay the WAL tail across the difference.
+// (Truncating through the newest snapshot's seq instead would make every
+// retained snapshot but the newest an unusable recovery point.)
+func TestServeSnapshotFallbackSurvivesTruncation(t *testing.T) {
+	dir := t.TempDir()
+	newPersistentServer := func() (*server, *http.ServeMux) {
+		t.Helper()
+		s, mux := newTestServer(t)
+		s.dataDir = dir
+		// One-byte segments seal a segment per append, so truncation has
+		// real segments to delete — the failure mode under test.
+		s.walOpts = elink.WALOptions{Fsync: elink.FsyncAlways, SegmentBytes: 1}
+		if err := s.recover(true); err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		return s, mux
+	}
+
+	s1, mux1 := newPersistentServer()
+	bootstrapTestServer(t, mux1)
+	// Four snapshots with an ingested batch between each: pruning kicks in
+	// at the fourth, and WAL records separate every adjacent pair.
+	for i := 0; i < 4; i++ {
+		if w := do(t, mux1, "POST", "/admin/snapshot", ""); w.Code != http.StatusOK {
+			t.Fatalf("snapshot %d = %d %s", i, w.Code, w.Body.String())
+		}
+		batch := fmt.Sprintf(`{"features":[{"node":2,"feature":[%g]}]}`, 0.3+0.1*float64(i))
+		if w := do(t, mux1, "POST", "/v1/ingest", batch); w.Code != http.StatusOK {
+			t.Fatalf("ingest %d = %d %s", i, w.Code, w.Body.String())
+		}
+	}
+	statsBefore := do(t, mux1, "GET", "/v1/stats", "").Body.String()
+	snaps := s1.listSnapshots()
+	if len(snaps) != 3 {
+		t.Fatalf("%d retained snapshots, want 3", len(snaps))
+	}
+	// Damage the two newest snapshots (crash mid-write, disk corruption),
+	// then boot over the same data dir: recovery must fall all the way
+	// back to the oldest retained snapshot and replay the WAL across the
+	// records every newer snapshot covered.
+	if err := os.Truncate(snaps[0], 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(snaps[1], 10); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, mux2 := newPersistentServer()
+	if got, want := s2.engine.Seq(), s1.engine.Seq(); got != want {
+		t.Fatalf("recovered seq = %d, want %d", got, want)
+	}
 	strip := func(s string) string {
 		var m map[string]any
 		if err := json.Unmarshal([]byte(s), &m); err != nil {

@@ -365,6 +365,12 @@ var ErrSnapshotVersion = persist.ErrVersion
 // taken under a different engine configuration.
 var ErrConfigMismatch = stream.ErrConfigMismatch
 
+// ErrWALDiverged tags ingest errors after a WAL append failure left the
+// in-memory state ahead of the journal: the engine refuses further
+// writes (queries keep working) until the process restarts. Check
+// Engine.Diverged for the latched error.
+var ErrWALDiverged = stream.ErrWALDiverged
+
 // OpenWAL opens (creating if needed) a write-ahead log in dir. Attach it
 // to an engine with Engine.AttachWAL after any restore/replay so
 // recovered batches are not re-journaled.

@@ -32,7 +32,10 @@ func DecodeFeature(b []byte) (Feature, []byte, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
-	if n*8 > len(b) || n < 0 {
+	// Divide rather than multiply: on 32-bit platforms n*8 can overflow
+	// negative for a crafted count, slipping past both comparisons and
+	// into a giant allocation.
+	if n < 0 || n > len(b)/8 {
 		return nil, nil, fmt.Errorf("metric: feature claims %d coordinates, only %d bytes follow", n, len(b))
 	}
 	f := make(Feature, n)

@@ -120,7 +120,12 @@ func segName(idx int) string { return fmt.Sprintf("%s%08d%s", walSegPrefix, idx,
 // OpenWAL opens (creating if needed) the journal in dir. Existing
 // segments are preserved for replay; appends always start a fresh
 // segment, so a torn tail from a previous crash is never appended
-// after.
+// after. Before any of that, the newest segment is repaired: a torn
+// tail (the signature of a crash mid-append) is truncated away at the
+// last intact record. Repair is what keeps a second crash survivable —
+// once appends rotate past the damaged segment it is no longer the
+// final one, and replay would otherwise have to treat the tear as
+// unrecoverable corruption.
 func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: create WAL dir: %w", err)
@@ -132,9 +137,64 @@ func OpenWAL(dir string, opts WALOptions) (*WAL, error) {
 	}
 	w.seg = 0
 	if len(segs) > 0 {
+		if err := repairSegmentTail(filepath.Join(dir, segName(segs[len(segs)-1]))); err != nil {
+			return nil, err
+		}
 		w.seg = segs[len(segs)-1] + 1
 	}
 	return w, nil
+}
+
+// repairSegmentTail truncates a segment at its last intact record,
+// sealing a tail torn by a crash mid-append. Truncation drops exactly
+// the bytes replay would refuse to deliver anyway (everything after the
+// first undecodable frame), so no committed record is ever lost. A
+// segment that died before its header finished holds nothing and is
+// removed outright. Damage truncation cannot explain — wrong magic or
+// version in a complete header — is left in place for replay to report.
+func repairSegmentTail(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("persist: repair WAL tail: %w", err)
+	}
+	hdrLen := len(walMagic) + 4
+	if len(data) < hdrLen {
+		if err := os.Remove(path); err != nil {
+			return fmt.Errorf("persist: repair WAL tail: %w", err)
+		}
+		return nil
+	}
+	if string(data[:len(walMagic)]) != walMagic ||
+		binary.LittleEndian.Uint32(data[len(walMagic):]) != WALVersion {
+		return nil
+	}
+	intact := hdrLen
+	b := data[hdrLen:]
+	for len(b) > 0 {
+		_, rest, err := decodeRecord(b)
+		if err != nil {
+			break
+		}
+		intact += len(b) - len(rest)
+		b = rest
+	}
+	if intact == len(data) {
+		return nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return fmt.Errorf("persist: repair WAL tail: %w", err)
+	}
+	if err := f.Truncate(int64(intact)); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("persist: repair WAL tail: %w", err)
+	}
+	return nil
 }
 
 // segments lists existing segment indices in ascending order.

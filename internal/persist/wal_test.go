@@ -121,6 +121,97 @@ func TestWALTruncatedTail(t *testing.T) {
 	}
 }
 
+// TestWALTornTailRepairedOnReopen is the double-crash scenario: a crash
+// tears the tail of segment N, the restarted process appends (rotating
+// into segment N+1), and a second crash forces another replay — with the
+// torn segment no longer final. OpenWAL must truncate the tear at the
+// first reopen, or the second recovery reads it as unrecoverable
+// corruption and the server can never boot again.
+func TestWALTornTailRepairedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	w, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := int64(1); seq <= 3; seq++ {
+		if err := w.Append(readingsRecord(seq, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("%d segments, want 1", len(segs))
+	}
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear seq 3's record mid-frame.
+	if err := os.WriteFile(segs[0], data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// First restart: the two intact records replay, and re-appending seq 3
+	// rotates into a fresh segment, so the torn one stops being final.
+	r, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, r, 0); len(got) != 2 {
+		t.Fatalf("first recovery replayed %d records, want 2", len(got))
+	}
+	if err := r.Append(readingsRecord(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second restart: every record must replay, repaired segment included.
+	r2, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, r2, 0)
+	if len(got) != 3 || got[0].Seq != 1 || got[1].Seq != 2 || got[2].Seq != 3 {
+		t.Errorf("second recovery replayed %+v, want seqs 1..3", got)
+	}
+}
+
+// TestWALHeaderlessStubRemovedOnReopen: a segment that died before its
+// header finished holds nothing recoverable; OpenWAL removes it so it
+// can never be misread as corruption once later segments exist.
+func TestWALHeaderlessStubRemovedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	stub := filepath.Join(dir, "wal-00000000.seg")
+	if err := os.WriteFile(stub, []byte("EL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stub); !os.IsNotExist(err) {
+		t.Errorf("headerless stub still present after OpenWAL (stat err: %v)", err)
+	}
+	if err := w.Append(readingsRecord(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := persist.OpenWAL(dir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := collect(t, r, 0); len(got) != 1 || got[0].Seq != 1 {
+		t.Errorf("replay = %+v, want just seq 1", got)
+	}
+}
+
 // TestWALCorruptMiddleSegmentFails pins the other side of the tail
 // tolerance: damage in a non-final segment cannot be skipped, because
 // the records after it would replay out of order.

@@ -45,7 +45,12 @@ type Engine struct {
 	seq int64
 	// wal, when attached, journals every applied batch (journal-after-
 	// commit: the record is appended only once the batch took effect).
-	wal         *persist.WAL
+	wal *persist.WAL
+	// walErr latches the first journal append failure. Once set, every
+	// further ingest is rejected with it (wrapping ErrWALDiverged): the
+	// in-memory state holds a batch the journal lacks, so accepting more
+	// writes would let the two histories drift apart silently.
+	walErr      error
 	models      []*ar.Model // nil when Order == 0 (feature-push deployments)
 	feats       []metric.Feature
 	warm        int    // nodes whose models have reached WarmupObs
@@ -155,11 +160,13 @@ func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.walErr != nil {
+		return nil, e.walErr
+	}
 	res, err := e.ingestLocked(batch)
 	if err != nil {
 		return nil, err
 	}
-	e.seq++
 	if e.wal != nil {
 		nodes := make([]int64, len(batch))
 		values := make([]float64, len(batch))
@@ -172,6 +179,7 @@ func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 			return res, err
 		}
 	}
+	e.seq++
 	return res, nil
 }
 
@@ -230,11 +238,13 @@ func (e *Engine) ingestLocked(batch []Reading) (*IngestResult, error) {
 func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.walErr != nil {
+		return nil, e.walErr
+	}
 	res, err := e.ingestFeaturesLocked(batch)
 	if err != nil {
 		return nil, err
 	}
-	e.seq++
 	if e.wal != nil {
 		nodes := make([]int64, len(batch))
 		features := make([][]float64, len(batch))
@@ -247,6 +257,7 @@ func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
 			return res, err
 		}
 	}
+	e.seq++
 	return res, nil
 }
 

@@ -21,6 +21,15 @@ import (
 // error, not a warning.
 var ErrConfigMismatch = errors.New("stream: snapshot configuration does not match this engine")
 
+// ErrWALDiverged tags the latched state after a journal append failure:
+// a batch was applied in memory but never reached the WAL. The engine
+// rejects every further ingest with it (queries keep working), because
+// accepting more writes would let the in-memory history and the journal
+// drift apart silently — and a client retry of the failed batch would
+// double-apply it. The recovery is operational: snapshot (the snapshot
+// captures the applied state) and restart.
+var ErrWALDiverged = errors.New("stream: WAL diverged (a batch was applied but not journaled); ingest disabled until restart")
+
 // Seq returns the engine's ingest sequence number: the count of
 // successfully applied batches (warmup included).
 func (e *Engine) Seq() int64 {
@@ -40,16 +49,30 @@ func (e *Engine) AttachWAL(w *persist.WAL) {
 }
 
 // journalLocked appends one record for the batch the engine just
-// applied. The record carries the post-apply sequence number. An append
-// failure is surfaced to the caller — the batch is applied in memory but
-// not durable, so the caller must treat the engine and journal as
-// diverged (typically: stop accepting writes, snapshot, restart).
+// applied; the record carries the sequence number the batch will commit
+// as (the caller advances e.seq only after the append succeeds, so a
+// failed append never leaves a gap for the next record to journal
+// across). On failure the engine latches ErrWALDiverged — the batch is
+// applied in memory but not durable, and every further ingest is
+// rejected until the process restarts (typically after a snapshot, which
+// captures the applied state).
 func (e *Engine) journalLocked(rec *persist.BatchRecord) error {
-	rec.Seq = e.seq
+	rec.Seq = e.seq + 1
 	if err := e.wal.Append(rec); err != nil {
-		return fmt.Errorf("stream: batch %d applied but not journaled: %w", e.seq, err)
+		e.walErr = fmt.Errorf("%w: batch %d: %v", ErrWALDiverged, rec.Seq, err)
+		return e.walErr
 	}
 	return nil
+}
+
+// Diverged returns the latched journal-failure error, or nil while the
+// engine and its WAL agree. Once non-nil it never clears; the HTTP
+// daemon surfaces it through /healthz so an orchestrator restarts the
+// process.
+func (e *Engine) Diverged() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.walErr
 }
 
 // cfgState is the engine's configuration fingerprint as embedded in

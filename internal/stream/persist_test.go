@@ -313,6 +313,63 @@ func TestRestoreRejectsConfigMismatch(t *testing.T) {
 	}
 }
 
+// TestIngestWALAppendFailureLatches pins the diverged contract: a WAL
+// append failure leaves the batch applied in memory but must latch the
+// engine read-only. The sequence number stays put — so a gap is never
+// journaled across — and every further ingest (including a client retry
+// of the failed batch, which would otherwise double-apply) is rejected
+// with ErrWALDiverged before touching state.
+func TestIngestWALAppendFailureLatches(t *testing.T) {
+	g := topology.NewGrid(1, 6)
+	cfg := Config{Order: 0, Delta: 2, Slack: 0.1, Metric: metric.Euclidean{}, Seed: 3}
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walDir := filepath.Join(t.TempDir(), "wal")
+	w, err := persist.OpenWAL(walDir, persist.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.AttachWAL(w)
+	if _, err := e.IngestFeatures([]FeatureUpdate{{0, metric.Feature{0.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Seq(); got != 1 {
+		t.Fatalf("seq after batch 1 = %d, want 1", got)
+	}
+	if e.Diverged() != nil {
+		t.Fatalf("Diverged() = %v before any failure", e.Diverged())
+	}
+
+	// Force the next append to fail: closing the WAL makes it rotate, and
+	// rotation cannot create a segment once the directory is gone.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.RemoveAll(walDir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.IngestFeatures([]FeatureUpdate{{1, metric.Feature{1.5}}}); !errors.Is(err, ErrWALDiverged) {
+		t.Fatalf("ingest with failing WAL: err = %v, want ErrWALDiverged", err)
+	}
+	if got := e.Seq(); got != 1 {
+		t.Errorf("seq advanced to %d across a failed journal append, want 1", got)
+	}
+	if e.Diverged() == nil {
+		t.Error("Diverged() = nil after a failed journal append")
+	}
+
+	// The latch holds: further writes are rejected before they apply.
+	before := e.readings
+	if _, err := e.IngestFeatures([]FeatureUpdate{{2, metric.Feature{2.5}}}); !errors.Is(err, ErrWALDiverged) {
+		t.Fatalf("ingest after divergence: err = %v, want ErrWALDiverged", err)
+	}
+	if e.readings != before {
+		t.Errorf("a rejected batch was still applied (%d -> %d readings)", before, e.readings)
+	}
+}
+
 // TestReplayWALGapFails pins the missing-segment safety check: if the
 // journal starts past the engine's sequence, replay refuses rather than
 // fabricating a state that never existed.

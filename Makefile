@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-obs bench-routes bench-parallel bench-persist examples clean
+.PHONY: check build vet fmt test race bench bench-obs bench-routes bench-parallel bench-persist bench-spans bench-diff examples clean
 
 ## check: everything CI runs — build, vet, gofmt cleanliness, tests, the
 ## race pass, then the routing, parallel-layer and durability snapshots
@@ -53,6 +53,25 @@ bench-parallel:
 ## BENCH_persist.json
 bench-persist:
 	$(GO) run ./cmd/elink-experiments -only persistbench -persist-out BENCH_persist.json
+
+## bench-spans: replay the Tao stream bare and span-traced, print the
+## per-phase p50/p95/max latency attribution table with the measured
+## tracing overhead, and dump both to BENCH_spans.json
+bench-spans:
+	$(GO) run ./cmd/elink-experiments -only spans -spans-out BENCH_spans.json
+
+## bench-diff: regenerate the durability benchmark into BENCH_NEW and
+## gate it against the committed snapshot — any tracked latency/size
+## metric more than BENCH_TOL percent worse fails the target. Override
+## the variables to diff other snapshots, e.g.
+##   make bench-diff BENCH_OLD=BENCH_routes.json BENCH_NEW=new.json BENCH_REGEN=
+BENCH_OLD ?= BENCH_persist.json
+BENCH_NEW ?= BENCH_persist.new.json
+BENCH_TOL ?= 25
+BENCH_REGEN ?= $(GO) run ./cmd/elink-experiments -only persistbench -persist-out $(BENCH_NEW)
+bench-diff:
+	$(BENCH_REGEN)
+	$(GO) run ./cmd/elink-benchdiff -tol $(BENCH_TOL) $(BENCH_OLD) $(BENCH_NEW)
 
 ## examples: compile every example without running them
 examples:

@@ -1,0 +1,254 @@
+// Command elink-benchdiff compares two benchmark snapshot files (the
+// BENCH_routes.json / BENCH_parallel.json / BENCH_persist.json payloads
+// the Makefile's bench-* targets write) and fails when a tracked metric
+// regressed beyond a tolerance — the commit-to-commit perf gate.
+//
+// Usage:
+//
+//	elink-benchdiff old.json new.json             # report, exit 1 on >10% regression
+//	elink-benchdiff -tol 25 old.json new.json     # looser gate
+//	elink-benchdiff -all old.json new.json        # print every metric, not just movers
+//
+// The diff is schema-agnostic: both files are flattened to
+// path → number, array elements are aligned by their identifying field
+// (n, nodes, grid, figures) rather than position so ladder reorderings
+// don't misalign rungs, and each metric's direction is classified from
+// its name — latencies/sizes (ms, ns, bytes, seconds) regress upward,
+// speedups regress downward, and context fields (reps, workers,
+// gomaxprocs, counts) are compared for equality but never fail the gate.
+// Metrics present in only one file are reported and skipped.
+//
+// Exit status: 0 clean, 1 at least one regression beyond -tol, 2 usage
+// or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+func main() {
+	var (
+		tol = flag.Float64("tol", 10, "regression tolerance in percent")
+		all = flag.Bool("all", false, "print every compared metric, not only movers and regressions")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: elink-benchdiff [-tol pct] [-all] old.json new.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := loadJSON(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elink-benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := loadJSON(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "elink-benchdiff:", err)
+		os.Exit(2)
+	}
+
+	rep := diff(oldDoc, newDoc, *tol)
+	render(os.Stdout, rep, *all)
+	if len(rep.regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "elink-benchdiff: %d metric(s) regressed beyond %.0f%%\n", len(rep.regressions), *tol)
+		os.Exit(1)
+	}
+}
+
+func loadJSON(path string) (any, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// direction classifies a metric path by its final field name.
+type direction int
+
+const (
+	lowerBetter  direction = iota // latency, size: regression = got slower/bigger
+	higherBetter                  // speedup: regression = got smaller
+	context                       // reps, workers, counts: informational only
+)
+
+func classify(path string) direction {
+	field := path
+	if i := strings.LastIndexByte(field, '.'); i >= 0 {
+		field = field[i+1:]
+	}
+	switch {
+	case strings.Contains(field, "speedup"):
+		return higherBetter
+	case strings.HasSuffix(field, "_ms") || strings.HasSuffix(field, "_ns") ||
+		strings.Contains(field, "_ns_per_") || strings.HasSuffix(field, "_seconds") ||
+		strings.HasSuffix(field, "bytes") || strings.HasSuffix(field, "_us") ||
+		strings.HasSuffix(field, "_per_node") || strings.HasSuffix(field, "_pct"):
+		return lowerBetter
+	}
+	return context
+}
+
+// flatten walks a decoded JSON document into path → numeric leaf.
+// Array elements of objects are keyed by their identifying field when
+// one exists ("rows[n=500]"), falling back to the index; non-numeric
+// leaves (strings, bools) become context entries keyed by value-equality
+// via their string form.
+func flatten(doc any, prefix string, out map[string]float64, ctx map[string]string) {
+	switch v := doc.(type) {
+	case map[string]any:
+		for k, child := range v {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			flatten(child, p, out, ctx)
+		}
+	case []any:
+		for i, child := range v {
+			key := fmt.Sprintf("%s[%s]", prefix, elementKey(child, i))
+			flatten(child, key, out, ctx)
+		}
+	case float64:
+		out[prefix] = v
+	case string:
+		ctx[prefix] = v
+	case bool:
+		ctx[prefix] = fmt.Sprint(v)
+	}
+}
+
+// elementKey aligns array elements across files: prefer an identifying
+// field over the position so a reordered or extended ladder still
+// matches rung to rung.
+func elementKey(el any, idx int) string {
+	obj, ok := el.(map[string]any)
+	if !ok {
+		return fmt.Sprint(idx)
+	}
+	for _, id := range []string{"n", "nodes", "grid", "name", "phase"} {
+		if v, ok := obj[id]; ok {
+			return fmt.Sprintf("%s=%v", id, v)
+		}
+	}
+	if v, ok := obj["figures"]; ok {
+		if list, ok := v.([]any); ok && len(list) > 0 {
+			return fmt.Sprintf("figures=%v", list[0])
+		}
+	}
+	return fmt.Sprint(idx)
+}
+
+type metricDiff struct {
+	path       string
+	dir        direction
+	oldV, newV float64
+	deltaPct   float64 // signed percent change new vs old
+	regressed  bool
+}
+
+type report struct {
+	metrics     []metricDiff
+	regressions []string
+	// onlyOld / onlyNew are paths present in one file but not the other.
+	onlyOld, onlyNew []string
+	// ctxChanged are non-numeric fields whose values differ (host,
+	// schema version) — reported, never failing.
+	ctxChanged []string
+}
+
+func diff(oldDoc, newDoc any, tolPct float64) report {
+	oldNum, oldCtx := map[string]float64{}, map[string]string{}
+	newNum, newCtx := map[string]float64{}, map[string]string{}
+	flatten(oldDoc, "", oldNum, oldCtx)
+	flatten(newDoc, "", newNum, newCtx)
+
+	var rep report
+	for path, ov := range oldNum {
+		nv, ok := newNum[path]
+		if !ok {
+			rep.onlyOld = append(rep.onlyOld, path)
+			continue
+		}
+		d := metricDiff{path: path, dir: classify(path), oldV: ov, newV: nv}
+		if ov != 0 {
+			d.deltaPct = 100 * (nv/ov - 1)
+		} else if nv != 0 {
+			d.deltaPct = 100
+		}
+		switch d.dir {
+		case lowerBetter:
+			d.regressed = d.deltaPct > tolPct
+		case higherBetter:
+			d.regressed = d.deltaPct < -tolPct
+		}
+		if d.regressed {
+			rep.regressions = append(rep.regressions, path)
+		}
+		rep.metrics = append(rep.metrics, d)
+	}
+	for path := range newNum {
+		if _, ok := oldNum[path]; !ok {
+			rep.onlyNew = append(rep.onlyNew, path)
+		}
+	}
+	for path, ov := range oldCtx {
+		if nv, ok := newCtx[path]; ok && nv != ov {
+			rep.ctxChanged = append(rep.ctxChanged, fmt.Sprintf("%s: %q -> %q", path, ov, nv))
+		}
+	}
+	sort.Slice(rep.metrics, func(i, j int) bool { return rep.metrics[i].path < rep.metrics[j].path })
+	sort.Strings(rep.regressions)
+	sort.Strings(rep.onlyOld)
+	sort.Strings(rep.onlyNew)
+	sort.Strings(rep.ctxChanged)
+	return rep
+}
+
+func render(w *os.File, rep report, all bool) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\told\tnew\tdelta\t")
+	shown := 0
+	for _, d := range rep.metrics {
+		mark := ""
+		switch {
+		case d.regressed:
+			mark = "REGRESSED"
+		case d.dir == context:
+			if !all {
+				continue
+			}
+		case !all && d.deltaPct > -1 && d.deltaPct < 1:
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%g\t%g\t%+.1f%%\t%s\n", d.path, d.oldV, d.newV, d.deltaPct, mark)
+		shown++
+	}
+	tw.Flush()
+	if shown == 0 {
+		fmt.Fprintln(w, "no metric moved by 1% or more")
+	}
+	for _, p := range rep.onlyOld {
+		fmt.Fprintf(w, "only in old: %s\n", p)
+	}
+	for _, p := range rep.onlyNew {
+		fmt.Fprintf(w, "only in new: %s\n", p)
+	}
+	for _, c := range rep.ctxChanged {
+		fmt.Fprintf(w, "context changed: %s\n", c)
+	}
+}

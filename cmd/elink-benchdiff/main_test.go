@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func parse(t *testing.T, s string) any {
+	t.Helper()
+	var doc any
+	if err := json.Unmarshal([]byte(s), &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestDiffPersistSchema drives the gate on the BENCH_persist.json shape:
+// a slower snapshot rung regresses, a faster restore does not, and the
+// rungs align by node count even when the ladder order flips.
+func TestDiffPersistSchema(t *testing.T) {
+	oldDoc := parse(t, `{"reps":5,"rows":[
+		{"n":500,"snapshot_ms":0.5,"restore_ms":0.5,"bytes":1000,"bytes_per_node":2},
+		{"n":2500,"snapshot_ms":2.8,"restore_ms":4.8,"bytes":5000,"bytes_per_node":2}]}`)
+	newDoc := parse(t, `{"reps":5,"rows":[
+		{"n":2500,"snapshot_ms":2.9,"restore_ms":4.7,"bytes":5000,"bytes_per_node":2},
+		{"n":500,"snapshot_ms":0.9,"restore_ms":0.3,"bytes":1000,"bytes_per_node":2}]}`)
+
+	rep := diff(oldDoc, newDoc, 10)
+	if len(rep.regressions) != 1 || rep.regressions[0] != "rows[n=500].snapshot_ms" {
+		t.Fatalf("regressions = %v, want only rows[n=500].snapshot_ms", rep.regressions)
+	}
+	if len(rep.onlyOld) != 0 || len(rep.onlyNew) != 0 {
+		t.Fatalf("misaligned rows: onlyOld=%v onlyNew=%v", rep.onlyOld, rep.onlyNew)
+	}
+}
+
+// TestDiffSpeedupDirection: speedups regress downward, not upward.
+func TestDiffSpeedupDirection(t *testing.T) {
+	oldDoc := parse(t, `{"eigen":[{"n":100,"serial_ms":10,"parallel_ms":5,"speedup":2.0}]}`)
+
+	faster := parse(t, `{"eigen":[{"n":100,"serial_ms":10,"parallel_ms":4,"speedup":2.5}]}`)
+	if rep := diff(oldDoc, faster, 10); len(rep.regressions) != 0 {
+		t.Fatalf("faster run flagged: %v", rep.regressions)
+	}
+	slower := parse(t, `{"eigen":[{"n":100,"serial_ms":10,"parallel_ms":8,"speedup":1.25}]}`)
+	rep := diff(oldDoc, slower, 10)
+	want := map[string]bool{"eigen[n=100].parallel_ms": true, "eigen[n=100].speedup": true}
+	if len(rep.regressions) != len(want) {
+		t.Fatalf("regressions = %v, want %v", rep.regressions, want)
+	}
+	for _, r := range rep.regressions {
+		if !want[r] {
+			t.Fatalf("unexpected regression %q", r)
+		}
+	}
+}
+
+// TestDiffToleranceAndContext: movement inside the tolerance passes, and
+// context fields (reps, workers, strings) never fail the gate.
+func TestDiffToleranceAndContext(t *testing.T) {
+	oldDoc := parse(t, `{"reps":5,"grid":"9x6","rows":[{"n":100,"snapshot_ms":1.0}]}`)
+	newDoc := parse(t, `{"reps":7,"grid":"10x10","rows":[{"n":100,"snapshot_ms":1.08}]}`)
+
+	rep := diff(oldDoc, newDoc, 10)
+	if len(rep.regressions) != 0 {
+		t.Fatalf("within-tolerance change flagged: %v", rep.regressions)
+	}
+	// reps changed (context number) and grid changed (context string):
+	// both reported, neither failing.
+	if len(rep.ctxChanged) != 1 {
+		t.Fatalf("ctxChanged = %v, want the grid string", rep.ctxChanged)
+	}
+	// Beyond tolerance it fails.
+	if rep := diff(oldDoc, newDoc, 5); len(rep.regressions) != 1 {
+		t.Fatalf("8%% move at 5%% tolerance: regressions = %v", rep.regressions)
+	}
+}
+
+// TestDiffMissingMetrics: paths present in one file only are reported,
+// never compared.
+func TestDiffMissingMetrics(t *testing.T) {
+	oldDoc := parse(t, `{"rows":[{"n":1,"snapshot_ms":1}],"gone_ms":4}`)
+	newDoc := parse(t, `{"rows":[{"n":1,"snapshot_ms":1}],"added_ms":9}`)
+	rep := diff(oldDoc, newDoc, 10)
+	if len(rep.regressions) != 0 {
+		t.Fatalf("regressions = %v", rep.regressions)
+	}
+	if len(rep.onlyOld) != 1 || rep.onlyOld[0] != "gone_ms" {
+		t.Fatalf("onlyOld = %v", rep.onlyOld)
+	}
+	if len(rep.onlyNew) != 1 || rep.onlyNew[0] != "added_ms" {
+		t.Fatalf("onlyNew = %v", rep.onlyNew)
+	}
+}
+
+// TestClassify pins the direction heuristics for every field name the
+// BENCH_* schemas use today.
+func TestClassify(t *testing.T) {
+	cases := map[string]direction{
+		"rows[n=500].snapshot_ms":               lowerBetter,
+		"rows[n=500].restore_ms":                lowerBetter,
+		"rows[n=500].bytes":                     lowerBetter,
+		"rows[n=500].bytes_per_node":            lowerBetter,
+		"rows[grid=9x6].path_cached_ns_per_msg": lowerBetter,
+		"eigen[n=100].speedup":                  higherBetter,
+		"harness.speedup":                       higherBetter,
+		"overhead_pct":                          lowerBetter,
+		"phases[phase=epoch].p95_us":            lowerBetter,
+		"reps":                                  context,
+		"gomaxprocs":                            context,
+		"workers":                               context,
+		"rows[n=500].messages_routed":           context,
+	}
+	for path, want := range cases {
+		if got := classify(path); got != want {
+			t.Errorf("classify(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

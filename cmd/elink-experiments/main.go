@@ -53,6 +53,7 @@ var figures = []struct {
 	{"hotspot", experiments.HotspotSpread},
 	{"optimality", experiments.OptimalityGap},
 	{"obs", experiments.ObsReplay},
+	{"spans", experiments.Spans},
 	{"routes", experiments.RoutesBench},
 	{"parbench", experiments.ParallelBench},
 	{"persistbench", experiments.PersistBench},
@@ -92,6 +93,7 @@ func main() {
 		readings = flag.Int("readings", 0, "override synthetic readings per node")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		obsOut   = flag.String("obs-out", "", "with the obs figure: write the instrumented run's full metrics registry to this file as JSON")
+		spansOut = flag.String("spans-out", "", "with the spans figure: write the tracing overhead and per-phase p50/p95/max attribution table to this file as JSON")
 		routeOut = flag.String("routes-out", "", "with the routes figure: write the routing benchmark results to this file as JSON")
 		parOut   = flag.String("par-out", "", "with the parbench figure: write the parallel-layer benchmark results to this file as JSON (run it via -only parbench so concurrent figures don't distort timings)")
 		persOut  = flag.String("persist-out", "", "with the persistbench figure: write the snapshot/restore benchmark results to this file as JSON (run it via -only persistbench so concurrent figures don't distort timings)")
@@ -160,6 +162,8 @@ func main() {
 		switch {
 		case f.name == "obs" && *obsOut != "":
 			run = dumpTo(*obsOut, experiments.ObsReplayTo)
+		case f.name == "spans" && *spansOut != "":
+			run = dumpTo(*spansOut, experiments.SpansTo)
 		case f.name == "routes" && *routeOut != "":
 			run = dumpTo(*routeOut, experiments.RoutesBenchTo)
 		case f.name == "parbench" && *parOut != "":

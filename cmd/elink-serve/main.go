@@ -33,12 +33,19 @@
 //	POST /admin/snapshot   write a snapshot now (requires -data-dir)
 //	GET  /metrics          Prometheus text exposition of the obs registry
 //	GET  /debug/trace      last ?n= trace events as JSON lines
+//	GET  /debug/spans      span traces: recent ring, top-K slowest and the
+//	                       per-phase latency attribution table as JSON;
+//	                       ?format=chrome emits Chrome trace-event JSON
+//	                       loadable in Perfetto / chrome://tracing
 //	GET  /debug/pprof/     runtime profiles (only with -pprof)
 //
-// Errors are JSON bodies {"error":"..."} with meaningful statuses: bad
-// payloads are 400, a warming-up or restoring engine is 503, engine-
-// internal failures are 500. Every request is logged with method, path,
-// status and duration, and counted in http_requests_total / timed in
+// Errors are JSON bodies {"error":"...","request_id":"..."} with
+// meaningful statuses: bad payloads are 400, a warming-up or restoring
+// engine is 503, engine-internal failures are 500. Every request gets a
+// monotonic id echoed in the X-Request-ID response header, carried in
+// the request's span trace and printed in the log line, so a slow span
+// in /debug/spans and an error body cross-reference the same log entry.
+// Requests are counted in http_requests_total / timed in
 // http_request_duration_seconds (path labels are route patterns, so the
 // cardinality is fixed).
 package main
@@ -66,6 +73,11 @@ import (
 	"elink"
 )
 
+// version identifies the build in elink_build_info; stamp a release with
+//
+//	go build -ldflags "-X main.version=v1.2.3" ./cmd/elink-serve
+var version = "dev"
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
@@ -82,6 +94,8 @@ func main() {
 		warmup    = flag.Int("warmup", 0, "observations per node before bootstrap (0 = 4*order)")
 		seed      = flag.Int64("seed", 1, "seed for topology and clustering runs")
 		tracebuf  = flag.Int("tracebuf", 0, "trace ring capacity (0 = default)")
+		spanbuf   = flag.Int("spanbuf", 0, "span trace ring capacity (0 = default 256)")
+		spanTopK  = flag.Int("span-topk", 0, "slowest span traces retained (0 = default 16)")
 		withPprof = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 
 		dataDir   = flag.String("data-dir", "", "durability directory for snapshots + WAL (empty = no persistence)")
@@ -107,8 +121,12 @@ func main() {
 		s = *delta / 10
 	}
 	reg := elink.NewMetricsRegistry()
-	elink.InstrumentParallelism(reg) // pool utilization on /metrics
+	elink.RegisterBuildInfo(reg, version) // build metadata + uptime on /metrics
+	elink.InstrumentParallelism(reg)      // pool utilization on /metrics
 	tracer := elink.NewTraceBuffer(*tracebuf)
+	spans := elink.NewSpanTracer(*spanbuf, *spanTopK)
+	spans.Instrument(reg)                   // span_phase_seconds on /metrics
+	elink.InstrumentParallelismSpans(spans) // fork-join batches feed the tracer
 	engine, err := elink.NewEngine(g, elink.EngineConfig{
 		Order:               *order,
 		Delta:               *delta,
@@ -121,13 +139,14 @@ func main() {
 		WarmupObs:           *warmup,
 		Obs:                 reg,
 		Trace:               tracer,
+		Spans:               spans,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "elink-serve:", err)
 		os.Exit(2)
 	}
 
-	srv := &server{engine: engine, reg: reg, tracer: tracer, dataDir: *dataDir}
+	srv := &server{engine: engine, reg: reg, tracer: tracer, spans: spans, dataDir: *dataDir}
 	mux := newMux(srv, *withPprof)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -209,6 +228,13 @@ type server struct {
 	engine *elink.Engine
 	reg    *elink.MetricsRegistry
 	tracer *elink.TraceBuffer
+	// spans collects the hierarchical request/epoch/query span traces
+	// served by /debug/spans; nil disables tracing (every Span method is
+	// nil-safe).
+	spans *elink.SpanTracer
+	// reqID mints the monotonic request id the observe middleware echoes
+	// in X-Request-ID, span labels, log lines and error bodies.
+	reqID atomic.Int64
 
 	// Durability state (zero when -data-dir is unset).
 	dataDir string
@@ -393,6 +419,7 @@ func newMux(s *server, withPprof bool) *http.ServeMux {
 	handle("POST", "/admin/snapshot", s.adminSnapshot)
 	handle("GET", "/metrics", s.metrics)
 	handle("GET", "/debug/trace", s.trace)
+	handle("GET", "/debug/spans", s.spansDump)
 	if withPprof {
 		// The pprof handlers are wired explicitly so nothing is exposed
 		// unless the flag asks for it (the blank import would register on
@@ -407,10 +434,14 @@ func newMux(s *server, withPprof bool) *http.ServeMux {
 }
 
 // statusRecorder captures the status a handler wrote so the middleware
-// can log and label it.
+// can log and label it, and carries the request's id and span so
+// handlers reached through the middleware can attach engine work to the
+// request trace and stamp error bodies.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	reqID  int64
+	span   *elink.Span
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -418,22 +449,42 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// observe wraps a handler with per-request structured logging and the
-// http_requests_total / http_request_duration_seconds metrics. The path
-// label is the registered route pattern, never the raw URL, so the label
-// set stays bounded.
+// reqSpan recovers the request's root span from the ResponseWriter the
+// observe middleware handed the handler; nil (safe everywhere a span is
+// used) when the handler runs outside the middleware or tracing is off.
+func reqSpan(w http.ResponseWriter) *elink.Span {
+	if rec, ok := w.(*statusRecorder); ok {
+		return rec.span
+	}
+	return nil
+}
+
+// observe wraps a handler with per-request structured logging, the
+// http_requests_total / http_request_duration_seconds metrics, a
+// monotonic request id (echoed in X-Request-ID, log lines and error
+// bodies) and a root "http" span the handler's engine work nests under.
+// The path label is the registered route pattern, never the raw URL, so
+// the label set stays bounded.
 func (s *server) observe(path string, h http.HandlerFunc) http.Handler {
 	s.reg.Help("http_requests_total", "HTTP requests served, by route and status code.")
 	s.reg.Help("http_request_duration_seconds", "Wall-clock time serving an HTTP request, by route.")
 	hist := s.reg.Histogram("http_request_duration_seconds", elink.LatencyBuckets(), "path", path)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		id := s.reqID.Add(1)
+		ids := strconv.FormatInt(id, 10)
+		w.Header().Set("X-Request-ID", ids)
+		sp := s.spans.Start("http")
+		sp.Label("route", path)
+		sp.Label("request_id", ids)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK, reqID: id, span: sp}
 		start := time.Now()
 		h(rec, r)
 		d := time.Since(start)
+		sp.Label("status", strconv.Itoa(rec.status))
+		sp.Finish()
 		s.reg.Counter("http_requests_total", "path", path, "code", strconv.Itoa(rec.status)).Inc()
 		hist.Observe(d.Seconds())
-		log.Printf("elink-serve: method=%s path=%s status=%d duration=%s", r.Method, path, rec.status, d)
+		log.Printf("elink-serve: method=%s path=%s status=%d duration=%s request_id=%s", r.Method, path, rec.status, d, ids)
 	})
 }
 
@@ -442,7 +493,7 @@ func (s *server) observe(path string, h http.HandlerFunc) http.Handler {
 // accepting ingest would fork the journal.
 func (s *server) gate(w http.ResponseWriter) bool {
 	if s.restoring.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "restoring from snapshot"})
+		writeError(w, http.StatusServiceUnavailable, errors.New("restoring from snapshot"))
 		return false
 	}
 	return true
@@ -502,10 +553,10 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("a batch carries readings or features, not both"))
 	case len(req.Readings) > 0:
-		res, err := s.engine.Ingest(req.Readings)
+		res, err := s.engine.IngestSpanned(req.Readings, reqSpan(w))
 		writeResult(w, res, err)
 	case len(req.Features) > 0:
-		res, err := s.engine.IngestFeatures(req.Features)
+		res, err := s.engine.IngestFeaturesSpanned(req.Features, reqSpan(w))
 		writeResult(w, res, err)
 	default:
 		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch"))
@@ -521,7 +572,7 @@ func (s *server) rangeQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.engine.RangeQuery(req.Feature, req.Radius, req.Initiator)
+	res, err := s.engine.RangeQuerySpanned(req.Feature, req.Radius, req.Initiator, reqSpan(w))
 	if err != nil {
 		writeError(w, queryStatus(err), err)
 		return
@@ -541,7 +592,7 @@ func (s *server) pathQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.engine.PathQuery(req.Danger, req.Gamma, req.Src, req.Dst)
+	res, err := s.engine.PathQuerySpanned(req.Danger, req.Gamma, req.Src, req.Dst, reqSpan(w))
 	if err != nil {
 		writeError(w, queryStatus(err), err)
 		return
@@ -625,6 +676,38 @@ func (s *server) trace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// spansDump serves the span tracer: by default a JSON document with the
+// per-phase latency attribution table, the last ?n= recent traces (0 or
+// unset = all buffered) and the top-K slowest; with ?format=chrome, the
+// same traces as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing for a flame-graph view of the pipeline.
+func (s *server) spansDump(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid n %q: want a non-negative integer", raw))
+			return
+		}
+		n = v
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		if err := s.spans.WriteJSON(w, n); err != nil {
+			log.Printf("elink-serve: write spans: %v", err)
+		}
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="elink-trace.json"`)
+		if err := s.spans.WriteChromeTrace(w, n); err != nil {
+			log.Printf("elink-serve: write chrome trace: %v", err)
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown format %q: want json or chrome", format))
+	}
+}
+
 // queryStatus maps engine query errors to HTTP statuses: a warming-up
 // engine is 503 (retry later), anything else is a bad request.
 func queryStatus(err error) int {
@@ -659,7 +742,11 @@ func writeResult(w http.ResponseWriter, res *elink.IngestResult, err error) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	body := map[string]string{"error": err.Error()}
+	if rec, ok := w.(*statusRecorder); ok && rec.reqID != 0 {
+		body["request_id"] = strconv.FormatInt(rec.reqID, 10)
+	}
+	writeJSON(w, status, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -17,14 +18,16 @@ func newTestServer(t *testing.T) (*server, *http.ServeMux) {
 	g := elink.NewGrid(1, 6)
 	reg := elink.NewMetricsRegistry()
 	tracer := elink.NewTraceBuffer(0)
+	spans := elink.NewSpanTracer(0, 0)
+	spans.Instrument(reg)
 	engine, err := elink.NewEngine(g, elink.EngineConfig{
 		Order: 0, Delta: 2, Slack: 0.1, Metric: elink.Euclidean(), Seed: 1,
-		Obs: reg, Trace: tracer,
+		Obs: reg, Trace: tracer, Spans: spans,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := &server{engine: engine, reg: reg, tracer: tracer}
+	s := &server{engine: engine, reg: reg, tracer: tracer, spans: spans}
 	return s, newMux(s, false)
 }
 
@@ -277,6 +280,7 @@ func TestServePersistence(t *testing.T) {
 			t.Fatal(err)
 		}
 		delete(m, "collectedAt")
+		delete(m, "phases") // span telemetry is wall-clock, not engine state
 		out, _ := json.Marshal(m)
 		return string(out)
 	}
@@ -346,6 +350,7 @@ func TestServeSnapshotFallbackSurvivesTruncation(t *testing.T) {
 			t.Fatal(err)
 		}
 		delete(m, "collectedAt")
+		delete(m, "phases") // span telemetry is wall-clock, not engine state
 		out, _ := json.Marshal(m)
 		return string(out)
 	}
@@ -382,6 +387,170 @@ func TestServeRestoringGate(t *testing.T) {
 	bootstrapTestServer(t, mux)
 	if w := do(t, mux, "GET", "/v1/stats", ""); w.Code != http.StatusOK {
 		t.Errorf("stats after restore gate lifted = %d", w.Code)
+	}
+}
+
+// TestServeRequestID checks the request-id plumbing: monotonic ids in
+// the X-Request-ID header, the same id stamped into error bodies, and
+// the id carried as a label on the request's span trace.
+func TestServeRequestID(t *testing.T) {
+	s, mux := newTestServer(t)
+
+	w1 := do(t, mux, "GET", "/healthz", "")
+	w2 := do(t, mux, "GET", "/healthz", "")
+	id1, err1 := strconv.ParseInt(w1.Header().Get("X-Request-ID"), 10, 64)
+	id2, err2 := strconv.ParseInt(w2.Header().Get("X-Request-ID"), 10, 64)
+	if err1 != nil || err2 != nil || id2 != id1+1 {
+		t.Fatalf("X-Request-ID = %q then %q, want consecutive integers",
+			w1.Header().Get("X-Request-ID"), w2.Header().Get("X-Request-ID"))
+	}
+
+	// An error body carries the id that the header and log line carry.
+	w := do(t, mux, "POST", "/v1/ingest", `{}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("empty ingest = %d, want 400", w.Code)
+	}
+	var body struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RequestID != w.Header().Get("X-Request-ID") || body.RequestID == "" {
+		t.Fatalf("error body request_id = %q, header = %q, want matching non-empty ids",
+			body.RequestID, w.Header().Get("X-Request-ID"))
+	}
+
+	// Every request trace is labelled with its route and id.
+	var found bool
+	for _, tr := range s.spans.Recent(0) {
+		if tr.Name == "http" && tr.Labels["request_id"] == body.RequestID {
+			found = true
+			if tr.Labels["route"] != "/v1/ingest" || tr.Labels["status"] != "400" {
+				t.Fatalf("request trace labels = %v", tr.Labels)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no http span trace carries the failed request's id")
+	}
+}
+
+// TestServeSpansEndpoint drives traffic through the mux and checks
+// /debug/spans: the JSON dump carries the request and engine phases with
+// the engine's epoch work nested under the ingest request's trace, and
+// ?format=chrome emits a trace-event document Perfetto accepts.
+func TestServeSpansEndpoint(t *testing.T) {
+	s, mux := newTestServer(t)
+	bootstrapTestServer(t, mux)
+	if w := do(t, mux, "POST", "/v1/query/range", `{"feature":[0.1],"radius":0.5,"initiator":0}`); w.Code != http.StatusOK {
+		t.Fatalf("range = %d %s", w.Code, w.Body.String())
+	}
+
+	// The bootstrap epoch nests under the ingest request's http trace.
+	var ingestTrace *elink.SpanTrace
+	for _, tr := range s.spans.Recent(0) {
+		if tr.Name == "http" && tr.Labels["route"] == "/v1/ingest" {
+			ingestTrace = tr
+		}
+	}
+	if ingestTrace == nil {
+		t.Fatal("no http trace for the ingest request")
+	}
+	names := map[string]bool{}
+	for _, sp := range ingestTrace.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"http", "epoch", "validate", "publish"} {
+		if !names[want] {
+			t.Fatalf("ingest trace spans = %v, missing %q", names, want)
+		}
+	}
+
+	w := do(t, mux, "GET", "/debug/spans", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("spans = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("spans Content-Type = %q", ct)
+	}
+	var dump struct {
+		Total  int64             `json:"total"`
+		Phases []elink.PhaseStat `json:"phases"`
+		Recent []elink.SpanTrace `json:"recent"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("spans body %q: %v", w.Body.String(), err)
+	}
+	if dump.Total == 0 || len(dump.Recent) == 0 {
+		t.Fatalf("spans dump empty: %s", w.Body.String())
+	}
+	phases := map[string]bool{}
+	for _, p := range dump.Phases {
+		phases[p.Phase] = true
+	}
+	for _, want := range []string{"http", "epoch", "range-query"} {
+		if !phases[want] {
+			t.Errorf("phase table missing %q: %v", want, phases)
+		}
+	}
+
+	// The phase histograms reach /metrics.
+	if body := do(t, mux, "GET", "/metrics", "").Body.String(); !strings.Contains(body, `span_phase_seconds_count{phase="http"}`) {
+		t.Error("metrics missing span_phase_seconds for the http phase")
+	}
+
+	// Chrome trace export: a JSON array of events with the complete-event
+	// and thread-name records Perfetto needs.
+	w = do(t, mux, "GET", "/debug/spans?format=chrome", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("chrome spans = %d", w.Code)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &events); err != nil {
+		t.Fatalf("chrome trace %q: %v", w.Body.String(), err)
+	}
+	var complete, meta bool
+	for _, ev := range events {
+		switch ev["ph"] {
+		case "X":
+			complete = true
+		case "M":
+			meta = true
+		}
+	}
+	if !complete || !meta {
+		t.Fatalf("chrome trace lacks X/M events: complete=%v meta=%v", complete, meta)
+	}
+
+	// n limits the recent window; bad n and bad format are JSON 400s.
+	w = do(t, mux, "GET", "/debug/spans?n=1", "")
+	var limited struct {
+		Recent []elink.SpanTrace `json:"recent"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &limited); err != nil || len(limited.Recent) != 1 {
+		t.Errorf("spans?n=1 recent = %d traces (%v), want 1", len(limited.Recent), err)
+	}
+	if w = do(t, mux, "GET", "/debug/spans?n=bogus", ""); w.Code != http.StatusBadRequest {
+		t.Errorf("spans?n=bogus = %d, want 400", w.Code)
+	}
+	if w = do(t, mux, "GET", "/debug/spans?format=bogus", ""); w.Code != http.StatusBadRequest {
+		t.Errorf("spans?format=bogus = %d, want 400", w.Code)
+	}
+}
+
+// TestServeBuildInfoMetrics: the build metadata and uptime gauges land
+// on /metrics when main's registration helper runs.
+func TestServeBuildInfoMetrics(t *testing.T) {
+	s, mux := newTestServer(t)
+	elink.RegisterBuildInfo(s.reg, version)
+	body := do(t, mux, "GET", "/metrics", "").Body.String()
+	if !strings.Contains(body, `elink_build_info{go_version=`) {
+		t.Error("metrics missing elink_build_info")
+	}
+	if !strings.Contains(body, "process_uptime_seconds") {
+		t.Error("metrics missing process_uptime_seconds")
 	}
 }
 

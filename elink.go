@@ -399,6 +399,45 @@ type (
 	TraceEvent = obs.Event
 )
 
+// Span tracing types, aliased from internal/obs. Hand a SpanTracer to
+// EngineConfig.Spans and every epoch, snapshot and query records a
+// hierarchical trace whose per-phase self-times telescope to the
+// operation's wall time (see DESIGN.md, "Span tracing & latency
+// attribution").
+type (
+	// SpanTracer collects hierarchical span traces into a bounded ring of
+	// recent traces plus a top-K slowest set, and aggregates per-phase
+	// latency statistics.
+	SpanTracer = obs.SpanTracer
+	// Span is one timed region inside a trace; Child opens a nested
+	// region, Finish closes it.
+	Span = obs.Span
+	// SpanTrace is one completed trace: a root operation and its tree of
+	// phase spans.
+	SpanTrace = obs.SpanTrace
+	// SpanRecord is one finished span inside a trace.
+	SpanRecord = obs.SpanRecord
+	// PhaseStat is one row of the per-phase latency attribution table
+	// (count, p50/p95/max, total self-time).
+	PhaseStat = obs.PhaseStat
+)
+
+// NewSpanTracer returns a span tracer keeping the last capacity traces
+// and the topK slowest (<= 0 selects the defaults, 256 and 16). All
+// methods are nil-receiver safe, so an unset tracer costs one nil test.
+func NewSpanTracer(capacity, topK int) *SpanTracer { return obs.NewSpanTracer(capacity, topK) }
+
+// RegisterBuildInfo registers the elink_build_info gauge (version, Go
+// version, GOMAXPROCS as labels, value constant 1) plus
+// process_start_time_seconds and the scrape-time-computed
+// process_uptime_seconds on reg.
+func RegisterBuildInfo(reg *MetricsRegistry, version string) { obs.RegisterBuildInfo(reg, version) }
+
+// InstrumentParallelismSpans makes the shared parallel execution layer
+// emit "par-batch" span traces (one child per worker) into t; nil
+// detaches. Batches faster than 1ms feed only the phase statistics.
+func InstrumentParallelismSpans(t *SpanTracer) { par.InstrumentSpans(t) }
+
 // NewMetricsRegistry returns an empty metrics registry.
 func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
 

@@ -27,13 +27,13 @@ func ObsReplayTo(sc Scale, dump io.Writer) (*Table, error) {
 		return nil, err
 	}
 
-	bare, err := replayEngineTao(st, sc, nil, nil)
+	bare, err := replayEngineTao(st, sc, nil, nil, nil)
 	if err != nil {
 		return nil, err
 	}
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer(0)
-	inst, err := replayEngineTao(st, sc, reg, tr)
+	inst, err := replayEngineTao(st, sc, reg, tr, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +70,7 @@ type replayOutcome struct {
 // replayEngineTao streams every precomputed Tao day through an engine as
 // one feature batch per day, interleaving range queries so the query-side
 // instrumentation is exercised too.
-func replayEngineTao(st *taoStream, sc Scale, reg *obs.Registry, tr *obs.Tracer) (replayOutcome, error) {
+func replayEngineTao(st *taoStream, sc Scale, reg *obs.Registry, tr *obs.Tracer, spans *obs.SpanTracer) (replayOutcome, error) {
 	g := st.ds.Graph
 	eng, err := stream.New(g, stream.Config{
 		Order:  0,
@@ -80,6 +80,7 @@ func replayEngineTao(st *taoStream, sc Scale, reg *obs.Registry, tr *obs.Tracer)
 		Seed:   sc.Seed,
 		Obs:    reg,
 		Trace:  tr,
+		Spans:  spans,
 	})
 	if err != nil {
 		return replayOutcome{}, err

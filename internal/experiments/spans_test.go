@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"elink/internal/obs"
+	"elink/internal/par"
+)
+
+// TestSpansFigure smoke-tests the attribution figure: the table carries
+// one row per exercised pipeline phase, the notes name the rows and the
+// measured overhead, and the JSON dump decodes with a populated phase
+// table.
+func TestSpansFigure(t *testing.T) {
+	var buf bytes.Buffer
+	tbl, err := SpansTo(quick(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("spans figure produced no attribution rows")
+	}
+	notes := strings.Join(tbl.Notes, "\n")
+	for _, want := range []string{"rows: 0=epoch", "overhead:", "range-query"} {
+		if !strings.Contains(notes, want) {
+			t.Errorf("notes missing %q:\n%s", want, notes)
+		}
+	}
+
+	var res spansFigureResult
+	if err := json.Unmarshal(buf.Bytes(), &res); err != nil {
+		t.Fatalf("spans dump: %v", err)
+	}
+	if res.Epochs == 0 || res.Traces == 0 || res.SpannedWallMs <= 0 {
+		t.Fatalf("spans dump = %+v, want populated replay", res)
+	}
+	phases := map[string]obs.PhaseStat{}
+	for _, p := range res.Phases {
+		phases[p.Phase] = p
+	}
+	for _, want := range []string{"epoch", "refit", "publish", "range-query"} {
+		p, ok := phases[want]
+		if !ok || p.Count == 0 || p.P95Ns < p.P50Ns || p.MaxNs < p.P95Ns {
+			t.Errorf("phase %q = %+v, want populated quantiles with p50<=p95<=max", want, p)
+		}
+	}
+}
+
+// TestFiguresSpanTracingInvariant is the golden determinism test for
+// span tracing: figure tables must be byte-identical with the par-layer
+// span tracer detached and installed, serial and fanned out — spans
+// observe timing, never scheduling or results.
+func TestFiguresSpanTracingInvariant(t *testing.T) {
+	figs := []struct {
+		name string
+		run  func(Scale) (*Table, error)
+	}{
+		{"fig08", Fig08},
+		{"fig14", Fig14},
+		{"path", PathQueries},
+	}
+	sc := QuickScale()
+
+	render := func(workers int, spans bool) map[string]string {
+		par.SetWorkers(workers)
+		defer par.SetWorkers(0)
+		if spans {
+			par.InstrumentSpans(obs.NewSpanTracer(0, 0))
+			defer par.InstrumentSpans(nil)
+		}
+		out := make(map[string]string, len(figs))
+		for _, f := range figs {
+			tbl, err := f.run(sc)
+			if err != nil {
+				t.Fatalf("workers=%d spans=%v %s: %v", workers, spans, f.name, err)
+			}
+			out[f.name] = tbl.String()
+		}
+		return out
+	}
+
+	base := render(1, false)
+	for _, cfg := range []struct {
+		workers int
+		spans   bool
+	}{{1, true}, {4, true}} {
+		got := render(cfg.workers, cfg.spans)
+		for _, f := range figs {
+			if got[f.name] != base[f.name] {
+				t.Errorf("%s: table differs with spans=%v -j %d\n--- base ---\n%s\n--- got ---\n%s",
+					f.name, cfg.spans, cfg.workers, base[f.name], got[f.name])
+			}
+		}
+	}
+}

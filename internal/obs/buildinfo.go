@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// RegisterBuildInfo registers the standard process-identity metrics every
+// elink daemon exports: an elink_build_info gauge pinned at 1 whose
+// labels carry the build version, Go toolchain version and GOMAXPROCS,
+// plus process_start_time_seconds and a live process_uptime_seconds
+// computed at scrape time. One helper so elink-serve and any future
+// daemon expose identical series. Safe on a nil registry; an empty
+// version is reported as "dev".
+func RegisterBuildInfo(reg *Registry, version string) {
+	if reg == nil {
+		return
+	}
+	if version == "" {
+		version = "dev"
+	}
+	reg.Help("elink_build_info", "Build metadata; value is always 1.")
+	reg.Gauge("elink_build_info",
+		"version", version,
+		"go_version", runtime.Version(),
+		"gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)),
+	).Set(1)
+
+	start := time.Now()
+	reg.Help("process_start_time_seconds", "Unix time the process registered its metrics.")
+	reg.Gauge("process_start_time_seconds").Set(float64(start.UnixNano()) / 1e9)
+	reg.Help("process_uptime_seconds", "Seconds since the process registered its metrics.")
+	reg.GaugeFunc("process_uptime_seconds", func() float64 {
+		return time.Since(start).Seconds()
+	})
+}

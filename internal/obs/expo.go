@@ -37,8 +37,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		sort.Strings(keys)
 		sers := make([]*series, len(keys))
+		gfns := make([]func() float64, len(keys))
 		for i, k := range keys {
 			sers[i] = f.series[k]
+			gfns[i] = sers[i].gfn // snapshot under the lock (GaugeFunc races otherwise)
 		}
 		help, kind := f.help, f.kind
 		r.mu.Unlock()
@@ -50,19 +52,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, kind)
 		for i, s := range sers {
-			writeSeries(&b, f.name, keys[i], kind, s)
+			writeSeries(&b, f.name, keys[i], kind, s, gfns[i])
 		}
 	}
 	_, err := io.WriteString(w, b.String())
 	return err
 }
 
-func writeSeries(b *strings.Builder, name, labels string, kind metricKind, s *series) {
+func writeSeries(b *strings.Builder, name, labels string, kind metricKind, s *series, gfn func() float64) {
 	switch kind {
 	case kindCounter:
 		writeSample(b, name, labels, "", strconv.FormatInt(s.ctr.Value(), 10))
 	case kindGauge:
-		writeSample(b, name, labels, "", formatFloat(s.gauge.Value()))
+		v := s.gauge.Value()
+		if gfn != nil {
+			v = gfn()
+		}
+		writeSample(b, name, labels, "", formatFloat(v))
 	case kindHistogram:
 		h := s.hist
 		cum := h.Cumulative()
@@ -152,12 +158,14 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 		}
 		sort.Strings(keys)
 		sers := make([]*series, len(keys))
+		gfns := make([]func() float64, len(keys))
 		for i, k := range keys {
 			sers[i] = f.series[k]
+			gfns[i] = sers[i].gfn
 		}
 		kind := f.kind
 		r.mu.Unlock()
-		for _, s := range sers {
+		for si, s := range sers {
 			js := jsonSeries{Name: f.name, Type: kind.String()}
 			if len(s.labels) > 0 {
 				js.Labels = make(map[string]string, len(s.labels))
@@ -171,6 +179,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				js.Value = &v
 			case kindGauge:
 				v := s.gauge.Value()
+				if gfns[si] != nil {
+					v = gfns[si]()
+				}
 				js.Value = &v
 			case kindHistogram:
 				h := s.hist

@@ -200,6 +200,7 @@ type series struct {
 	labels []labelPair // sorted by key
 	ctr    *Counter
 	gauge  *Gauge
+	gfn    func() float64 // set by GaugeFunc; read at scrape time
 	hist   *Histogram
 }
 
@@ -303,6 +304,23 @@ func (r *Registry) Gauge(name string, labels ...string) *Gauge {
 		return nil
 	}
 	return r.lookup(name, kindGauge, nil, labels).gauge
+}
+
+// GaugeFunc registers a gauge whose value fn computes at scrape time
+// (process uptime, queue depths — anything cheaper to derive than to
+// maintain). The first registration of a series wins and the function is
+// immutable afterwards, so concurrent scrapes never race a swap; calls
+// for a series that already exists are ignored.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	s := r.lookup(name, kindGauge, nil, labels)
+	r.mu.Lock()
+	if s.gfn == nil {
+		s.gfn = fn
+	}
+	r.mu.Unlock()
 }
 
 // Histogram returns the histogram for name+labels, creating it with the

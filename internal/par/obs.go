@@ -1,6 +1,7 @@
 package par
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -19,6 +20,48 @@ type parMetrics struct {
 var instrumented atomic.Pointer[parMetrics]
 
 func metrics() *parMetrics { return instrumented.Load() }
+
+// spanTracer holds the InstrumentSpans tracer (nil = spans off); the
+// hot path pays one atomic load.
+var spanTracer atomic.Pointer[obs.SpanTracer]
+
+// spanKeepMin is the wall-time threshold below which a batch's trace is
+// dropped from the tracer's ring/top-K stores (phase attribution is
+// recorded either way). Fork-join batches fire thousands of times a
+// second; only the slow ones are worth a trace slot.
+const spanKeepMin = time.Millisecond
+
+// InstrumentSpans makes every subsequent fork-join batch emit a
+// "par-batch" span trace with one child span per worker, attributing
+// batch wall time to the workers that carried it. Traces faster than 1ms
+// only feed the per-phase statistics, not the trace stores. Passing nil
+// turns span tracing off. Spans never influence scheduling or results,
+// so the package's determinism contract is unaffected.
+func InstrumentSpans(t *obs.SpanTracer) {
+	if t == nil {
+		spanTracer.Store(nil)
+		return
+	}
+	spanTracer.Store(t)
+}
+
+// workerSpanNames caps the distinct worker phase names ("par-worker-0"
+// ... ) fed into the tracer; counts beyond the cap share one label so
+// huge machines cannot blow the tracer's phase map.
+var workerSpanNames = func() []string {
+	out := make([]string, 64)
+	for i := range out {
+		out[i] = "par-worker-" + strconv.Itoa(i)
+	}
+	return out
+}()
+
+func workerSpanName(w int) string {
+	if w < len(workerSpanNames) {
+		return workerSpanNames[w]
+	}
+	return "par-worker-hi"
+}
 
 // Instrument exports the pool's utilization through the given registry:
 //

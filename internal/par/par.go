@@ -91,8 +91,15 @@ func Chunks(n, grain int, body func(lo, hi int)) {
 	if workers > nchunks {
 		workers = nchunks
 	}
+	// Span attribution (InstrumentSpans): the batch is one root span,
+	// each worker one child, so a slow batch shows which workers carried
+	// it. Spans observe only — they never affect chunk order or results.
+	root := spanTracer.Load().Start("par-batch")
+	root.KeepIf(spanKeepMin)
+
 	if workers <= 1 {
 		start := time.Now()
+		ws := root.Child(workerSpanName(0))
 		for lo := 0; lo < n; lo += grain {
 			hi := lo + grain
 			if hi > n {
@@ -100,14 +107,18 @@ func Chunks(n, grain int, body func(lo, hi int)) {
 			}
 			body(lo, hi)
 		}
+		ws.Finish()
 		observeBatch(nchunks, start)
+		root.Finish()
 		return
 	}
 
 	start := time.Now()
 	var next atomic.Int64
 	var pan atomic.Pointer[panicValue]
-	run := func() {
+	run := func(w int) {
+		ws := root.Child(workerSpanName(w))
+		defer ws.Finish()
 		defer func() {
 			if r := recover(); r != nil {
 				pan.CompareAndSwap(nil, &panicValue{val: r, stack: stack()})
@@ -129,14 +140,15 @@ func Chunks(n, grain int, body func(lo, hi int)) {
 	var wg sync.WaitGroup
 	for w := 1; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			run()
-		}()
+			run(w)
+		}(w)
 	}
-	run()
+	run(0)
 	wg.Wait()
 	observeBatch(nchunks, start)
+	root.Finish()
 	if p := pan.Load(); p != nil {
 		panic(fmt.Sprintf("par: task panic: %v\n%s", p.val, p.stack))
 	}

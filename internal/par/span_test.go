@@ -1,0 +1,108 @@
+package par
+
+import (
+	"testing"
+	"time"
+
+	"elink/internal/obs"
+)
+
+// TestChunksSpanAttribution: with a span tracer installed, fork-join
+// batches record "par-batch" traces with one child per worker, and fast
+// batches feed phase statistics without occupying trace slots.
+func TestChunksSpanAttribution(t *testing.T) {
+	tr := obs.NewSpanTracer(16, 4)
+	InstrumentSpans(tr)
+	defer InstrumentSpans(nil)
+
+	SetWorkers(4)
+	defer SetWorkers(0)
+
+	// A slow batch (each chunk sleeps) must land in the trace ring.
+	Chunks(8, 1, func(lo, hi int) { time.Sleep(2 * time.Millisecond) })
+	// Fast batches only feed phase stats.
+	for i := 0; i < 10; i++ {
+		Chunks(8, 1, func(lo, hi int) {})
+	}
+
+	if got := tr.Total(); got != 11 {
+		t.Fatalf("Total = %d, want 11 batches", got)
+	}
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("Len = %d, want only the slow batch retained", got)
+	}
+	trace := tr.Recent(0)[0]
+	if trace.Name != "par-batch" {
+		t.Fatalf("trace name = %q", trace.Name)
+	}
+	workers := 0
+	for _, s := range trace.Spans {
+		if s.Parent == 0 {
+			workers++
+		}
+	}
+	if workers != 4 {
+		t.Fatalf("worker spans = %d, want 4", workers)
+	}
+	// Concurrent workers overlap the root; its self-time clamps at 0.
+	for _, s := range trace.Spans {
+		if s.Parent == -1 && s.SelfNs != 0 {
+			t.Fatalf("root SelfNs = %d, want 0 (overlapped workers)", s.SelfNs)
+		}
+	}
+	stats := tr.PhaseStats()
+	byName := map[string]obs.PhaseStat{}
+	for _, p := range stats {
+		byName[p.Phase] = p
+	}
+	if byName["par-batch"].Count != 11 {
+		t.Fatalf("par-batch phase count = %d, want 11 (dropped traces still attributed)", byName["par-batch"].Count)
+	}
+	if byName["par-worker-0"].Count == 0 {
+		t.Fatalf("no worker phase rows: %+v", stats)
+	}
+}
+
+// TestChunksSpanInline: the workers<=1 inline path still traces, with a
+// single worker child.
+func TestChunksSpanInline(t *testing.T) {
+	tr := obs.NewSpanTracer(4, 2)
+	InstrumentSpans(tr)
+	defer InstrumentSpans(nil)
+	SetWorkers(1)
+	defer SetWorkers(0)
+
+	Chunks(4, 2, func(lo, hi int) { time.Sleep(2 * time.Millisecond) })
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	trace := tr.Recent(0)[0]
+	if len(trace.Spans) != 2 {
+		t.Fatalf("spans = %+v, want root + one worker", trace.Spans)
+	}
+}
+
+// TestSpanInstrumentationDeterminism: results are bitwise identical with
+// and without span tracing (spans observe, never schedule).
+func TestSpanInstrumentationDeterminism(t *testing.T) {
+	run := func() []float64 {
+		out := make([]float64, 256)
+		Chunks(256, 16, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = float64(i) * 1.5
+			}
+		})
+		return out
+	}
+	SetWorkers(4)
+	defer SetWorkers(0)
+	bare := run()
+	InstrumentSpans(obs.NewSpanTracer(8, 2))
+	defer InstrumentSpans(nil)
+	spanned := run()
+	for i := range bare {
+		if bare[i] != spanned[i] {
+			t.Fatalf("index %d: %v != %v", i, bare[i], spanned[i])
+		}
+	}
+}

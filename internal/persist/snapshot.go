@@ -9,6 +9,7 @@ import (
 	"elink/internal/cluster"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/topology"
 	"elink/internal/update"
 )
@@ -81,6 +82,14 @@ type SnapshotInfo struct {
 // WriteSnapshot encodes st to w in the versioned section format and
 // returns the number of bytes written.
 func WriteSnapshot(w io.Writer, st *EngineState) (int64, error) {
+	return WriteSnapshotSpanned(w, st, nil)
+}
+
+// WriteSnapshotSpanned is WriteSnapshot with each section's encode+write
+// traced as an "enc-<section>" child of parent, so a slow snapshot shows
+// which section (models, index, ...) carried the bytes. A nil parent
+// disables tracing; span methods are nil-safe.
+func WriteSnapshotSpanned(w io.Writer, st *EngineState, parent *obs.Span) (int64, error) {
 	var total int64
 	hdr := make([]byte, 0, 12)
 	hdr = append(hdr, snapMagic...)
@@ -93,39 +102,41 @@ func WriteSnapshot(w io.Writer, st *EngineState) (int64, error) {
 		return total, err
 	}
 
-	write := func(tag uint8, payload []byte) error {
+	write := func(name string, tag uint8, encode func() []byte) error {
 		if err != nil {
 			return err
 		}
+		sp := parent.Child("enc-" + name)
+		defer sp.Finish()
 		var wn int64
-		wn, err = writeSection(w, tag, payload)
+		wn, err = writeSection(w, tag, encode())
 		total += wn
 		return err
 	}
 
-	if err := write(secMeta, encodeMeta(st)); err != nil {
+	if err := write("meta", secMeta, func() []byte { return encodeMeta(st) }); err != nil {
 		return total, err
 	}
-	if err := write(secModels, encodeModels(st.Models)); err != nil {
+	if err := write("models", secModels, func() []byte { return encodeModels(st.Models) }); err != nil {
 		return total, err
 	}
-	if err := write(secFeats, encodeFeats(st)); err != nil {
+	if err := write("feats", secFeats, func() []byte { return encodeFeats(st) }); err != nil {
 		return total, err
 	}
 	if st.Maint != nil {
-		if err := write(secMaint, encodeMaint(st.Maint)); err != nil {
+		if err := write("maint", secMaint, func() []byte { return encodeMaint(st.Maint) }); err != nil {
 			return total, err
 		}
 	}
 	if st.Index != nil {
-		if err := write(secIndex, encodeIndex(st.Index)); err != nil {
+		if err := write("index", secIndex, func() []byte { return encodeIndex(st.Index) }); err != nil {
 			return total, err
 		}
 	}
-	if err := write(secTelem, encodeTelem(st)); err != nil {
+	if err := write("telem", secTelem, func() []byte { return encodeTelem(st) }); err != nil {
 		return total, err
 	}
-	if err := write(secEnd, nil); err != nil {
+	if err := write("end", secEnd, func() []byte { return nil }); err != nil {
 		return total, err
 	}
 	return total, nil

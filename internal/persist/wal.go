@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"elink/internal/obs"
 )
 
 // FsyncPolicy controls when WAL appends reach stable storage.
@@ -222,6 +224,16 @@ func (w *WAL) segments() ([]int, error) {
 // Append journals one batch record and applies the fsync policy. It
 // must not be called concurrently with Replay.
 func (w *WAL) Append(rec *BatchRecord) error {
+	return w.AppendSpanned(rec, nil)
+}
+
+// AppendSpanned is Append traced as a "wal-append" child of parent, with
+// the fsync (when the policy triggers one) as its own "fsync" child so a
+// slow epoch distinguishes encode/write cost from flush stalls. A nil
+// parent disables tracing; span methods are nil-safe.
+func (w *WAL) AppendSpanned(rec *BatchRecord, parent *obs.Span) error {
+	sp := parent.Child("wal-append")
+	defer sp.Finish()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if rec.Seq <= w.lastSeq && w.lastSeq != 0 {
@@ -240,12 +252,17 @@ func (w *WAL) Append(rec *BatchRecord) error {
 	w.lastSeq = rec.Seq
 	w.dirty = true
 	w.opts.Metrics.appended(int64(len(frame)))
+	sync := func() error {
+		fs := sp.Child("fsync")
+		defer fs.Finish()
+		return w.syncLocked()
+	}
 	switch w.opts.Fsync {
 	case FsyncAlways:
-		return w.syncLocked()
+		return sync()
 	case FsyncInterval:
 		if time.Since(w.lastSync) >= w.opts.FsyncEvery {
-			return w.syncLocked()
+			return sync()
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 	"elink/internal/cluster"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/topology"
 )
 
@@ -44,6 +45,13 @@ type PathResult struct {
 // region is then searched cluster-by-cluster along the backbone, with the
 // final hop-level path resolved inside the safe subgraph.
 func Path(idx *index.Index, danger metric.Feature, gamma float64, src, dst topology.NodeID) *PathResult {
+	return PathSpanned(idx, danger, gamma, src, dst, nil)
+}
+
+// PathSpanned is Path with its phases — cluster classification and the
+// safe-subgraph search — traced as children of sp (nil sp: no tracing;
+// span methods are nil-safe).
+func PathSpanned(idx *index.Index, danger metric.Feature, gamma float64, src, dst topology.NodeID, sp *obs.Span) *PathResult {
 	res := &PathResult{Stats: cluster.Stats{Breakdown: make(map[string]int64)}}
 	charge := func(kind string, cost int64) {
 		res.Stats.Breakdown[kind] += cost
@@ -51,6 +59,7 @@ func Path(idx *index.Index, danger metric.Feature, gamma float64, src, dst topol
 	}
 
 	// Classify clusters; collect the safe node set.
+	cs := sp.Child("q-classify")
 	safe := make([]bool, idx.Graph.N())
 	for ci := range idx.Clusters {
 		root := idx.RootEntry(ci)
@@ -69,6 +78,8 @@ func Path(idx *index.Index, danger metric.Feature, gamma float64, src, dst topol
 		}
 	}
 
+	cs.Finish()
+
 	// The source routes the query to its cluster root; if the source
 	// itself is unsafe there is no safe path.
 	charge(KindQueryRoute, int64(idx.Depth(src)))
@@ -79,6 +90,8 @@ func Path(idx *index.Index, danger metric.Feature, gamma float64, src, dst topol
 	// Search the safe subgraph. The coordination travels over the safe
 	// backbone (charged once per backbone edge between clusters that
 	// contain safe nodes), and the answer is the hop path itself.
+	ss := sp.Child("q-search")
+	defer ss.Finish()
 	for _, e := range backboneComponent(idx, idx.Clusters[idx.ClusterOf[src]].Root) {
 		if clusterHasSafe(idx, e.A, safe) && clusterHasSafe(idx, e.B, safe) {
 			charge(KindBackbone, int64(e.Hops))

@@ -14,6 +14,7 @@ import (
 	"elink/internal/cluster"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/topology"
 )
 
@@ -42,6 +43,13 @@ type RangeResult struct {
 // Range answers "find all nodes whose feature is within radius r of q"
 // starting from the given initiator node.
 func Range(idx *index.Index, q metric.Feature, r float64, initiator topology.NodeID) *RangeResult {
+	return RangeSpanned(idx, q, r, initiator, nil)
+}
+
+// RangeSpanned is Range with its phases — backbone flood, per-cluster
+// prune/descend, answer aggregation — traced as children of sp (nil sp:
+// no tracing; span methods are nil-safe).
+func RangeSpanned(idx *index.Index, q metric.Feature, r float64, initiator topology.NodeID, sp *obs.Span) *RangeResult {
 	res := &RangeResult{Stats: cluster.Stats{Breakdown: make(map[string]int64)}}
 	charge := func(kind string, cost int64) {
 		res.Stats.Breakdown[kind] += cost
@@ -55,11 +63,14 @@ func Range(idx *index.Index, q metric.Feature, r float64, initiator topology.Nod
 	// traversal of every edge in its component); the aggregation return
 	// pass is charged afterwards, only on edges that carry answers —
 	// roots whose clusters were pruned suppress their (empty) replies.
+	bs := sp.Child("q-backbone")
 	start := idx.Clusters[idx.ClusterOf[initiator]].Root
 	for _, e := range backboneComponent(idx, start) {
 		charge(KindBackbone, int64(e.Hops))
 	}
+	bs.Finish()
 
+	cs := sp.Child("q-clusters")
 	answered := make(map[topology.NodeID]bool)
 	for ci := range idx.Clusters {
 		root := idx.RootEntry(ci)
@@ -88,11 +99,14 @@ func Range(idx *index.Index, q metric.Feature, r float64, initiator topology.Nod
 		}
 		res.Matches = append(res.Matches, matches...)
 	}
+	cs.Finish()
 	// Aggregation return pass over the backbone: each edge on the path
 	// from an answering root toward the initiator's root carries one
 	// message.
+	as := sp.Child("q-aggregate")
 	charge(KindBackbone, backboneReturnCost(idx, start, answered))
 	sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i] < res.Matches[j] })
+	as.Finish()
 	return res
 }
 

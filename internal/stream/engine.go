@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"elink/internal/elink"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/persist"
 	"elink/internal/query"
 	"elink/internal/topology"
@@ -152,19 +154,42 @@ func (e *Engine) Ready() bool {
 // consistent while ingest continues.
 func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
 
+// startSpan opens the engine-side span for one operation: a child of
+// parent when the caller is already traced (an HTTP request span), else
+// a new root from the configured tracer (nil when spans are off — every
+// span method is nil-safe).
+func (e *Engine) startSpan(name string, parent *obs.Span) *obs.Span {
+	if parent != nil {
+		return parent.Child(name)
+	}
+	return e.cfg.Spans.Start(name)
+}
+
 // Ingest consumes one batch of readings as a single epoch: models refit
 // by RLS, drifted features stream through the slack-Δ protocol, the
 // index is repaired or rebuilt, the re-cluster policy is applied, and a
 // fresh snapshot is published. Ingest calls are serialized; concurrent
 // queries keep running against the previous snapshot throughout.
 func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
+	return e.IngestSpanned(batch, nil)
+}
+
+// IngestSpanned is Ingest with the epoch traced as an "epoch" span —
+// a child of parent when non-nil, else a new root on Config.Spans. The
+// pipeline phases (validate, refit, maintain, index/recluster, journal,
+// publish) become child spans whose self-times sum to the epoch wall
+// time.
+func (e *Engine) IngestSpanned(batch []Reading, parent *obs.Span) (*IngestResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.walErr != nil {
 		return nil, e.walErr
 	}
-	res, err := e.ingestLocked(batch)
+	sp := e.startSpan("epoch", parent)
+	defer sp.Finish()
+	res, err := e.ingestLocked(batch, sp)
 	if err != nil {
+		sp.Label("error", err.Error())
 		return nil, err
 	}
 	if e.wal != nil {
@@ -173,13 +198,17 @@ func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 		for i, r := range batch {
 			nodes[i], values[i] = int64(r.Node), r.Value
 		}
-		if err := e.journalLocked(&persist.BatchRecord{
+		js := sp.Child("journal")
+		err := e.journalLocked(&persist.BatchRecord{
 			Kind: persist.RecordReadings, Nodes: nodes, Values: values,
-		}); err != nil {
+		}, js)
+		js.Finish()
+		if err != nil {
 			return res, err
 		}
 	}
 	e.seq++
+	sp.Label("epoch", strconv.FormatInt(e.epoch, 10))
 	return res, nil
 }
 
@@ -187,16 +216,24 @@ func (e *Engine) Ingest(batch []Reading) (*IngestResult, error) {
 // rejected batch leaves the engine untouched — the invariant the WAL
 // relies on (an invalid batch is never journaled, a journaled batch
 // replays without partial-application ambiguity).
-func (e *Engine) ingestLocked(batch []Reading) (*IngestResult, error) {
+func (e *Engine) ingestLocked(batch []Reading, sp *obs.Span) (*IngestResult, error) {
 	if e.models == nil {
 		return nil, fmt.Errorf("%w: engine configured with Order=0 ingests features only (use IngestFeatures)", ErrInvalidBatch)
 	}
+	vs := sp.Child("validate")
+	var verr error
 	for _, r := range batch {
 		if int(r.Node) < 0 || int(r.Node) >= e.g.N() {
-			return nil, fmt.Errorf("%w: reading for node %d outside [0,%d)", ErrInvalidBatch, r.Node, e.g.N())
+			verr = fmt.Errorf("%w: reading for node %d outside [0,%d)", ErrInvalidBatch, r.Node, e.g.N())
+			break
 		}
 	}
+	vs.Finish()
+	if verr != nil {
+		return nil, verr
+	}
 
+	rs := sp.Child("refit")
 	res := &IngestResult{}
 	touched := make(map[topology.NodeID]bool)
 	for _, r := range batch {
@@ -215,19 +252,22 @@ func (e *Engine) ingestLocked(batch []Reading) (*IngestResult, error) {
 
 	if !e.ready {
 		if e.warm < e.g.N() {
+			rs.Finish()
 			return res, nil // still warming up
 		}
 		for u := range e.models {
 			e.feats[u] = metric.Feature(e.models[u].Snapshot())
 		}
-		return res, e.finishBootstrap(res)
+		rs.Finish()
+		return res, e.finishBootstrap(res, sp)
 	}
 
 	nodes := sortedNodes(touched)
 	for _, u := range nodes {
 		e.feats[u] = metric.Feature(e.models[u].Snapshot())
 	}
-	return res, e.applyEpoch(nodes, res)
+	rs.Finish()
+	return res, e.applyEpoch(nodes, res, sp)
 }
 
 // IngestFeatures consumes one batch of already-fitted coefficient
@@ -236,13 +276,22 @@ func (e *Engine) ingestLocked(batch []Reading) (*IngestResult, error) {
 // until every node has a feature; afterwards each batch flows through the
 // same maintenance/index/policy path as Ingest.
 func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
+	return e.IngestFeaturesSpanned(batch, nil)
+}
+
+// IngestFeaturesSpanned is IngestFeatures with the epoch traced (see
+// IngestSpanned).
+func (e *Engine) IngestFeaturesSpanned(batch []FeatureUpdate, parent *obs.Span) (*IngestResult, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.walErr != nil {
 		return nil, e.walErr
 	}
-	res, err := e.ingestFeaturesLocked(batch)
+	sp := e.startSpan("epoch", parent)
+	defer sp.Finish()
+	res, err := e.ingestFeaturesLocked(batch, sp)
 	if err != nil {
+		sp.Label("error", err.Error())
 		return nil, err
 	}
 	if e.wal != nil {
@@ -251,28 +300,41 @@ func (e *Engine) IngestFeatures(batch []FeatureUpdate) (*IngestResult, error) {
 		for i, up := range batch {
 			nodes[i], features[i] = int64(up.Node), up.Feature
 		}
-		if err := e.journalLocked(&persist.BatchRecord{
+		js := sp.Child("journal")
+		err := e.journalLocked(&persist.BatchRecord{
 			Kind: persist.RecordFeatures, Nodes: nodes, Features: features,
-		}); err != nil {
+		}, js)
+		js.Finish()
+		if err != nil {
 			return res, err
 		}
 	}
 	e.seq++
+	sp.Label("epoch", strconv.FormatInt(e.epoch, 10))
 	return res, nil
 }
 
 // ingestFeaturesLocked validates the whole batch up front, then applies
 // it (see ingestLocked for why).
-func (e *Engine) ingestFeaturesLocked(batch []FeatureUpdate) (*IngestResult, error) {
+func (e *Engine) ingestFeaturesLocked(batch []FeatureUpdate, sp *obs.Span) (*IngestResult, error) {
+	vs := sp.Child("validate")
+	var verr error
 	for _, up := range batch {
 		if int(up.Node) < 0 || int(up.Node) >= e.g.N() {
-			return nil, fmt.Errorf("%w: feature update for node %d outside [0,%d)", ErrInvalidBatch, up.Node, e.g.N())
+			verr = fmt.Errorf("%w: feature update for node %d outside [0,%d)", ErrInvalidBatch, up.Node, e.g.N())
+			break
 		}
 		if len(up.Feature) == 0 {
-			return nil, fmt.Errorf("%w: empty feature for node %d", ErrInvalidBatch, up.Node)
+			verr = fmt.Errorf("%w: empty feature for node %d", ErrInvalidBatch, up.Node)
+			break
 		}
 	}
+	vs.Finish()
+	if verr != nil {
+		return nil, verr
+	}
 
+	rs := sp.Child("refit")
 	res := &IngestResult{}
 	touched := make(map[topology.NodeID]bool)
 	for _, up := range batch {
@@ -287,12 +349,15 @@ func (e *Engine) ingestFeaturesLocked(batch []FeatureUpdate) (*IngestResult, err
 	e.eobs.readings.Add(int64(res.Readings))
 
 	if !e.ready {
+		rs.Finish()
 		if e.featCovered < e.g.N() {
 			return res, nil // waiting for full feature coverage
 		}
-		return res, e.finishBootstrap(res)
+		return res, e.finishBootstrap(res, sp)
 	}
-	return res, e.applyEpoch(sortedNodes(touched), res)
+	nodes := sortedNodes(touched)
+	rs.Finish()
+	return res, e.applyEpoch(nodes, res, sp)
 }
 
 func sortedNodes(set map[topology.NodeID]bool) []topology.NodeID {
@@ -307,7 +372,8 @@ func sortedNodes(set map[topology.NodeID]bool) []topology.NodeID {
 // applyEpoch streams the touched nodes' current features through the
 // maintenance protocol, keeps the index consistent, applies the
 // re-cluster policy and publishes the epoch's snapshot.
-func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
+func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult, sp *obs.Span) error {
+	ms := sp.Child("maintain")
 	before := e.maint.CountersSnapshot()
 	for _, u := range nodes {
 		e.maint.Update(u, e.feats[u])
@@ -316,12 +382,16 @@ func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
 	}
 	after := e.maint.CountersSnapshot()
 	res.Detaches = after.Detaches - before.Detaches
+	ms.Finish()
 
 	e.sinceRecluster++
 	switch {
 	case e.cfg.Policy == PolicyPeriodic && e.sinceRecluster >= e.cfg.Period,
 		e.cfg.Policy == PolicyAdaptive && e.maint.NeedsRecluster(e.cfg.FragmentationFactor):
-		if err := e.recluster(); err != nil {
+		cs := sp.Child("recluster")
+		err := e.recluster(cs)
+		cs.Finish()
+		if err != nil {
 			return err
 		}
 		e.eobs.reclusters.Inc()
@@ -329,25 +399,33 @@ func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
 	case res.Detaches > 0:
 		// Membership changed: the M-tree topology is stale, rebuild it
 		// over the maintained clustering.
-		if err := e.rebuildIndex(); err != nil {
+		is := sp.Child("index")
+		err := e.rebuildIndex()
+		is.Finish()
+		if err != nil {
 			return err
 		}
 		e.eobs.rebuilds.Inc()
 	case len(nodes) > 0:
 		// Membership stable: repair routing features and covering radii
 		// in place, one bounded wave per drifted node.
+		is := sp.Child("index")
 		e.cloneIndexIfPublished()
 		for _, u := range nodes {
 			msgs, err := e.idx.Refresh(u, e.feats[u])
 			if err != nil {
+				is.Finish()
 				return err
 			}
 			e.refreshMsgs += msgs
 			e.eobs.refresh.Add(msgs)
 		}
+		is.Finish()
 	}
 
+	ps := sp.Child("publish")
 	e.publish()
+	ps.Finish()
 	res.Ready = true
 	res.Epoch = e.epoch
 	res.NumClusters = e.maint.NumClusters()
@@ -356,8 +434,10 @@ func (e *Engine) applyEpoch(nodes []topology.NodeID, res *IngestResult) error {
 
 // finishBootstrap runs the first full clustering over e.feats and fills
 // the batch result.
-func (e *Engine) finishBootstrap(res *IngestResult) error {
-	r, idx, m, err := e.fullCluster()
+func (e *Engine) finishBootstrap(res *IngestResult, sp *obs.Span) error {
+	bs := sp.Child("bootstrap")
+	r, idx, m, err := e.fullCluster(bs)
+	bs.Finish()
 	if err != nil {
 		return err
 	}
@@ -366,7 +446,9 @@ func (e *Engine) finishBootstrap(res *IngestResult) error {
 	e.maint, e.idx = m, idx
 	e.ready = true
 	e.sinceRecluster = 0
+	ps := sp.Child("publish")
 	e.publish()
+	ps.Finish()
 	res.Ready = true
 	res.Epoch = e.epoch
 	res.NumClusters = e.maint.NumClusters()
@@ -375,10 +457,10 @@ func (e *Engine) finishBootstrap(res *IngestResult) error {
 
 // recluster retires the current maintainer and re-runs ELink on the
 // current features (the §6 fallback the policy knob gates).
-func (e *Engine) recluster() error {
+func (e *Engine) recluster(sp *obs.Span) error {
 	e.screening = addCounters(e.screening, e.maint.CountersSnapshot())
 	e.maintMsgs.Add(e.maint.Stats())
-	res, idx, m, err := e.fullCluster()
+	res, idx, m, err := e.fullCluster(sp)
 	if err != nil {
 		return err
 	}
@@ -392,11 +474,12 @@ func (e *Engine) recluster() error {
 
 // fullCluster runs ELink at δ − 2Δ on the current features and wraps the
 // result with a fresh maintainer and index.
-func (e *Engine) fullCluster() (*cluster.Result, *index.Index, *update.Maintainer, error) {
+func (e *Engine) fullCluster(sp *obs.Span) (*cluster.Result, *index.Index, *update.Maintainer, error) {
 	feats := make([]metric.Feature, len(e.feats))
 	for u := range feats {
 		feats[u] = e.feats[u].Clone()
 	}
+	rs := sp.Child("elink-run")
 	res, err := elink.Run(e.g, elink.Config{
 		Delta:    e.cfg.Delta - 2*e.cfg.Slack,
 		Metric:   e.cfg.Metric,
@@ -406,6 +489,7 @@ func (e *Engine) fullCluster() (*cluster.Result, *index.Index, *update.Maintaine
 		Obs:      e.cfg.Obs,
 		Trace:    e.cfg.Trace,
 	})
+	rs.Finish()
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("stream: clustering run: %w", err)
 	}
@@ -416,7 +500,9 @@ func (e *Engine) fullCluster() (*cluster.Result, *index.Index, *update.Maintaine
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("stream: maintainer: %w", err)
 	}
+	is := sp.Child("index-build")
 	idx, err := index.Build(e.g, res.Clustering, feats, e.cfg.Metric)
+	is.Finish()
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("stream: index build: %w", err)
 	}
@@ -462,6 +548,13 @@ func (e *Engine) publish() {
 // RangeQuery answers a §7.2 range query against the current snapshot.
 // Safe for arbitrary concurrency with Ingest and other queries.
 func (e *Engine) RangeQuery(q metric.Feature, r float64, initiator topology.NodeID) (*query.RangeResult, error) {
+	return e.RangeQuerySpanned(q, r, initiator, nil)
+}
+
+// RangeQuerySpanned is RangeQuery traced as a "range-query" span (child
+// of parent when non-nil, else a root on Config.Spans) with the query's
+// execution phases as children.
+func (e *Engine) RangeQuerySpanned(q metric.Feature, r float64, initiator topology.NodeID, parent *obs.Span) (*query.RangeResult, error) {
 	s := e.snap.Load()
 	if s == nil {
 		return nil, ErrNotReady
@@ -469,9 +562,11 @@ func (e *Engine) RangeQuery(q metric.Feature, r float64, initiator topology.Node
 	if int(initiator) < 0 || int(initiator) >= e.g.N() {
 		return nil, fmt.Errorf("stream: initiator %d outside [0,%d)", initiator, e.g.N())
 	}
+	sp := e.startSpan("range-query", parent)
 	start := time.Now()
-	res := query.Range(s.Index, q, r, initiator)
+	res := query.RangeSpanned(s.Index, q, r, initiator, sp)
 	d := time.Since(start)
+	sp.Finish()
 	e.recordQuery(&e.rangeQ, d, res.Stats.Messages)
 	query.ObserveRange(e.cfg.Obs, res, d)
 	return res, nil
@@ -480,6 +575,12 @@ func (e *Engine) RangeQuery(q metric.Feature, r float64, initiator topology.Node
 // PathQuery answers a §7.3 path query against the current snapshot.
 // Safe for arbitrary concurrency with Ingest and other queries.
 func (e *Engine) PathQuery(danger metric.Feature, gamma float64, src, dst topology.NodeID) (*query.PathResult, error) {
+	return e.PathQuerySpanned(danger, gamma, src, dst, nil)
+}
+
+// PathQuerySpanned is PathQuery traced as a "path-query" span (see
+// RangeQuerySpanned).
+func (e *Engine) PathQuerySpanned(danger metric.Feature, gamma float64, src, dst topology.NodeID, parent *obs.Span) (*query.PathResult, error) {
 	s := e.snap.Load()
 	if s == nil {
 		return nil, ErrNotReady
@@ -487,9 +588,11 @@ func (e *Engine) PathQuery(danger metric.Feature, gamma float64, src, dst topolo
 	if int(src) < 0 || int(src) >= e.g.N() || int(dst) < 0 || int(dst) >= e.g.N() {
 		return nil, fmt.Errorf("stream: endpoints (%d,%d) outside [0,%d)", src, dst, e.g.N())
 	}
+	sp := e.startSpan("path-query", parent)
 	start := time.Now()
-	res := query.Path(s.Index, danger, gamma, src, dst)
+	res := query.PathSpanned(s.Index, danger, gamma, src, dst, sp)
 	d := time.Since(start)
+	sp.Finish()
 	e.recordQuery(&e.pathQ, d, res.Stats.Messages)
 	query.ObservePath(e.cfg.Obs, res, d)
 	return res, nil
@@ -552,5 +655,9 @@ func (e *Engine) Stats() Stats {
 	s.QueryTime = e.queryTime
 	s.MaxQueryTime = e.maxQueryTime
 	e.qmu.Unlock()
+
+	// Attribution table from the span tracer (nil-safe: empty when spans
+	// are off). Read outside both engine locks — the tracer has its own.
+	s.Phases = e.cfg.Spans.PhaseStats()
 	return s
 }

@@ -9,6 +9,7 @@ import (
 	"elink/internal/ar"
 	"elink/internal/index"
 	"elink/internal/metric"
+	"elink/internal/obs"
 	"elink/internal/persist"
 	"elink/internal/topology"
 	"elink/internal/update"
@@ -55,10 +56,11 @@ func (e *Engine) AttachWAL(w *persist.WAL) {
 // across). On failure the engine latches ErrWALDiverged — the batch is
 // applied in memory but not durable, and every further ingest is
 // rejected until the process restarts (typically after a snapshot, which
-// captures the applied state).
-func (e *Engine) journalLocked(rec *persist.BatchRecord) error {
+// captures the applied state). The append (and its fsync, when the
+// policy triggers one) is traced under sp.
+func (e *Engine) journalLocked(rec *persist.BatchRecord, sp *obs.Span) error {
 	rec.Seq = e.seq + 1
-	if err := e.wal.Append(rec); err != nil {
+	if err := e.wal.AppendSpanned(rec, sp); err != nil {
 		e.walErr = fmt.Errorf("%w: batch %d: %v", ErrWALDiverged, rec.Seq, err)
 		return e.walErr
 	}
@@ -140,11 +142,15 @@ func (e *Engine) stateLocked() *persist.EngineState {
 // the state is copied out, not while it is encoded and written, so
 // ingest stalls for the copy, never for the I/O.
 func (e *Engine) SaveSnapshot(w io.Writer) (persist.SnapshotInfo, error) {
+	sp := e.cfg.Spans.Start("snapshot")
+	defer sp.Finish()
 	start := time.Now()
+	cs := sp.Child("copy-state")
 	e.mu.Lock()
 	st := e.stateLocked()
 	e.mu.Unlock()
-	n, err := persist.WriteSnapshot(w, st)
+	cs.Finish()
+	n, err := persist.WriteSnapshotSpanned(w, st, sp)
 	info := persist.SnapshotInfo{
 		Bytes:    n,
 		Seq:      st.Seq,
@@ -164,12 +170,18 @@ func (e *Engine) SaveSnapshot(w io.Writer) (persist.SnapshotInfo, error) {
 // not part of snapshots and is left untouched. After Restore, replay the
 // WAL tail with ReplayWAL to reach the exact pre-crash state.
 func (e *Engine) Restore(r io.Reader) error {
+	sp := e.cfg.Spans.Start("restore")
+	defer sp.Finish()
 	start := time.Now()
+	ds := sp.Child("decode")
 	st, err := persist.ReadSnapshot(r)
+	ds.Finish()
 	if err != nil {
 		return fmt.Errorf("stream: read snapshot: %w", err)
 	}
 
+	rb := sp.Child("rebuild")
+	defer rb.Finish()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if got, want := st.Config, e.cfgState(); got != want {
@@ -274,7 +286,7 @@ func (e *Engine) ReplayWAL(w *persist.WAL) (int, error) {
 			for i := range rec.Nodes {
 				batch[i] = Reading{Node: topology.NodeID(rec.Nodes[i]), Value: rec.Values[i]}
 			}
-			if _, err := e.ingestLocked(batch); err != nil {
+			if _, err := e.ingestLocked(batch, nil); err != nil {
 				return fmt.Errorf("stream: replay batch %d: %w", rec.Seq, err)
 			}
 		case persist.RecordFeatures:
@@ -282,7 +294,7 @@ func (e *Engine) ReplayWAL(w *persist.WAL) (int, error) {
 			for i := range rec.Nodes {
 				batch[i] = FeatureUpdate{Node: topology.NodeID(rec.Nodes[i]), Feature: metric.Feature(rec.Features[i])}
 			}
-			if _, err := e.ingestFeaturesLocked(batch); err != nil {
+			if _, err := e.ingestFeaturesLocked(batch, nil); err != nil {
 				return fmt.Errorf("stream: replay batch %d: %w", rec.Seq, err)
 			}
 		default:

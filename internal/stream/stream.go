@@ -108,6 +108,12 @@ type Config struct {
 	// epoch plus the per-round simulator events of every full
 	// (re-)clustering run the policy triggers.
 	Trace *obs.Tracer
+	// Spans, when non-nil, receives one hierarchical span trace per
+	// engine operation: every ingested epoch (children: validate, refit,
+	// maintain, index/recluster, journal, publish), every query, and
+	// every snapshot save/restore. Span timings never feed figure tables,
+	// so attaching a tracer leaves golden determinism untouched.
+	Spans *obs.SpanTracer
 }
 
 func (c Config) withDefaults() Config {
@@ -244,6 +250,10 @@ type Stats struct {
 	QueryMsgs    int64         `json:"queryMsgs"`
 	QueryTime    time.Duration `json:"queryTimeNs"`
 	MaxQueryTime time.Duration `json:"maxQueryTimeNs"`
+
+	// Phases is the per-phase latency attribution table (p50/p95/max
+	// self-time per span phase), present only when Config.Spans is set.
+	Phases []obs.PhaseStat `json:"phases,omitempty"`
 }
 
 // SteadyStateMsgs is the total streaming update cost after bootstrap:

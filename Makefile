@@ -1,18 +1,28 @@
 GO ?= go
 
-.PHONY: check build vet fmt test race bench bench-obs bench-routes bench-parallel bench-persist bench-spans bench-diff examples clean
+.PHONY: check build vet lint fmt test race bench bench-obs bench-routes bench-parallel bench-persist bench-spans bench-diff examples clean
 
-## check: everything CI runs — build, vet, gofmt cleanliness, tests, the
-## race pass, then the routing, parallel-layer and durability snapshots
-## (BENCH_routes.json, BENCH_parallel.json, BENCH_persist.json) so perf
-## regressions on the hot paths are visible per commit
-check: build vet fmt test race bench-routes bench-parallel bench-persist
+## check: everything CI runs — build, vet, the invariant analyzers,
+## gofmt cleanliness, tests, the race pass, then the routing,
+## parallel-layer and durability benches so perf regressions on the hot
+## paths are visible per commit (bench-persist writes the
+## BENCH_persist.new.json scratch file; gate it with bench-diff)
+check: build vet lint fmt test race bench-routes bench-parallel bench-persist
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+## lint: the repo's invariant analyzers (internal/lint via
+## cmd/elink-lint): explicit-seed randomness, wall-clock-free
+## deterministic packages, goroutine discipline, order-insensitive map
+## iteration, HELP-described metrics, panic-free persist decode. A
+## deliberate violation is excused in place — and counted in the
+## summary — with:  //elink:allow <rule> — <reason>
+lint:
+	$(GO) run ./cmd/elink-lint
 
 ## fmt: fail if any tracked Go file is not gofmt-clean
 fmt:
@@ -49,10 +59,12 @@ bench-parallel:
 	$(GO) run ./cmd/elink-experiments -only parbench -par-out BENCH_parallel.json
 
 ## bench-persist: snapshot encode / restore decode latency and snapshot
-## size on bootstrapped engines at 500/2500/10000 nodes, dumped to
-## BENCH_persist.json
+## size on bootstrapped engines at 500/2500/10000 nodes, dumped to the
+## BENCH_persist.new.json scratch file (gitignored). Compare against the
+## committed BENCH_persist.json with bench-diff; promote an accepted run
+## with  cp BENCH_persist.new.json BENCH_persist.json
 bench-persist:
-	$(GO) run ./cmd/elink-experiments -only persistbench -persist-out BENCH_persist.json
+	$(GO) run ./cmd/elink-experiments -only persistbench -persist-out BENCH_persist.new.json
 
 ## bench-spans: replay the Tao stream bare and span-traced, print the
 ## per-phase p50/p95/max latency attribution table with the measured
@@ -60,8 +72,9 @@ bench-persist:
 bench-spans:
 	$(GO) run ./cmd/elink-experiments -only spans -spans-out BENCH_spans.json
 
-## bench-diff: regenerate the durability benchmark into BENCH_NEW and
-## gate it against the committed snapshot — any tracked latency/size
+## bench-diff: regenerate the durability benchmark into BENCH_NEW
+## (bench-persist's scratch file by default) and gate it against the
+## committed BENCH_persist.json snapshot — any tracked latency/size
 ## metric more than BENCH_TOL percent worse fails the target. Override
 ## the variables to diff other snapshots, e.g.
 ##   make bench-diff BENCH_OLD=BENCH_routes.json BENCH_NEW=new.json BENCH_REGEN=

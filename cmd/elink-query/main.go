@@ -9,9 +9,9 @@
 package main
 
 import (
+	"elink/internal/detrand"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 
 	"elink"
@@ -54,7 +54,7 @@ func main() {
 		ds.Name, ds.Graph.N(), d, res.Clustering.NumClusters(),
 		res.Stats.Messages, idx.BuildStats.Messages)
 
-	rng := rand.New(rand.NewSource(*seed + 77))
+	rng := detrand.New(*seed + 77)
 	switch *kind {
 	case "range":
 		r := *radius

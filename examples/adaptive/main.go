@@ -8,16 +8,16 @@
 package main
 
 import (
+	"elink/internal/detrand"
 	"fmt"
 	"log"
-	"math/rand"
 
 	"elink"
 )
 
 func main() {
 	g := elink.NewRandomNetwork(150, 4, 3)
-	rng := rand.New(rand.NewSource(3))
+	rng := detrand.New(3)
 
 	// Initial field: two spatial regimes with mild noise.
 	cur := make([]float64, g.N())
@@ -51,7 +51,7 @@ func main() {
 		}, 1)
 
 		// Stream 2000 feature drifts through both schemes.
-		drift := rand.New(rand.NewSource(99))
+		drift := detrand.New(99)
 		vals := append([]float64(nil), cur...)
 		for step := 0; step < 2000; step++ {
 			u := elink.NodeID(drift.Intn(g.N()))

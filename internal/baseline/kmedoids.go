@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"elink/internal/cluster"
+	"elink/internal/detrand"
 	"elink/internal/metric"
 	"elink/internal/topology"
 )
@@ -53,7 +54,7 @@ func KMedoids(g *topology.Graph, cfg KMedoidsConfig) (*cluster.Result, error) {
 	if cfg.MaxK == 0 || cfg.MaxK > n {
 		cfg.MaxK = n
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 	// Refresh charging routes every node to its medoid; rooting the
 	// shared tables at the k medoids replaces N BFS runs per round with k.
 	routes := g.Routes()

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"elink/internal/cluster"
+	"elink/internal/detrand"
 	"elink/internal/linalg"
 	"elink/internal/metric"
 	"elink/internal/par"
@@ -61,7 +62,7 @@ func Spectral(g *topology.Graph, cfg SpectralConfig) (*cluster.Result, error) {
 	if cfg.MaxK == 0 || cfg.MaxK > n {
 		cfg.MaxK = n
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 
 	// Normalized affinity L = D^-1/2 A D^-1/2 with Gaussian edge affinity.
 	aff := linalg.NewSparseSym(n)

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"elink/internal/ar"
+	"elink/internal/detrand"
 	"elink/internal/metric"
 	"elink/internal/par"
 	"elink/internal/topology"
@@ -74,7 +75,7 @@ func Tao(cfg TaoConfig) (*Dataset, error) {
 		return nil, fmt.Errorf("data: invalid Tao config %+v (need at least 5 days)", cfg)
 	}
 	g := topology.NewGrid(cfg.Rows, cfg.Cols)
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 	n := g.N()
 
 	// Zone-coherent daily anomaly processes: every buoy in a zone sees
@@ -247,7 +248,7 @@ func DeathValley(cfg DeathValleyConfig) (*Dataset, error) {
 	if cfg.Nodes < 4 {
 		return nil, fmt.Errorf("data: DeathValley needs at least 4 nodes, got %d", cfg.Nodes)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 	g := topology.RandomGeometricForDegree(cfg.Nodes, 5, rng)
 
 	const gridSize = 129 // 2^7 + 1 for diamond-square
@@ -399,7 +400,7 @@ func Synthetic(cfg SyntheticConfig) (*Dataset, error) {
 	if cfg.Nodes < 2 {
 		return nil, fmt.Errorf("data: Synthetic needs at least 2 nodes, got %d", cfg.Nodes)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	rng := detrand.New(cfg.Seed)
 	g := topology.RandomGeometricForDegree(cfg.Nodes, 4, rng)
 
 	// Generation consumes the shared rng (α draw then innovations, node

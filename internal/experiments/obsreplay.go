@@ -1,9 +1,9 @@
 package experiments
 
 import (
+	"elink/internal/detrand"
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"elink/internal/metric"
@@ -85,7 +85,7 @@ func replayEngineTao(st *taoStream, sc Scale, reg *obs.Registry, tr *obs.Tracer,
 	if err != nil {
 		return replayOutcome{}, err
 	}
-	rng := rand.New(rand.NewSource(sc.Seed))
+	rng := detrand.New(sc.Seed)
 	start := time.Now()
 	for d := st.firstDay; d < st.firstDay+len(st.featAt); d++ {
 		batch := make([]stream.FeatureUpdate, g.N())

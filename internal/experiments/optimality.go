@@ -1,7 +1,7 @@
 package experiments
 
 import (
-	"math/rand"
+	"elink/internal/detrand"
 
 	"elink/internal/baseline"
 	"elink/internal/cluster"
@@ -34,7 +34,7 @@ func OptimalityGap(sc Scale) (*Table, error) {
 		Notes:   []string{sc.note(), "delta=1.5, features drawn from {0..L-1}"},
 	}
 	for _, levels := range []int{2, 3, 4} {
-		rng := rand.New(rand.NewSource(sc.Seed + int64(levels)*131))
+		rng := detrand.New(sc.Seed + int64(levels)*131)
 		var sums [5]float64
 		for trial := 0; trial < trials; trial++ {
 			g := topology.RandomGeometricForDegree(nodes, 3, rng)

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"elink/internal/detrand"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"runtime"
 	"time"
 
@@ -55,7 +55,7 @@ type parBenchResult struct {
 // matrix shaped like the normalized affinity Laplacians the spectral
 // baseline feeds the solver.
 func parBenchMatrix(n int, seed int64) *linalg.Matrix {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.New(seed)
 	m := linalg.NewMatrix(n, n)
 	for i := 0; i < n; i++ {
 		m.Set(i, i, 1+rng.Float64())

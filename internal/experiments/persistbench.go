@@ -2,10 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"elink/internal/detrand"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"time"
 
 	"elink/internal/metric"
@@ -42,7 +42,7 @@ type persistBenchResult struct {
 // maintainer and telemetry sections carry real state. The graph comes
 // back too so the restore arm can build a twin engine.
 func persistBenchEngine(n int, seed int64) (*stream.Engine, *topology.Graph, stream.Config, error) {
-	rng := rand.New(rand.NewSource(seed))
+	rng := detrand.New(seed)
 	g := topology.RandomGeometricForDegree(n, 4, rng)
 	cfg := stream.Config{
 		Order:  0,

@@ -7,6 +7,7 @@ import (
 	"elink/internal/baseline"
 	"elink/internal/cluster"
 	"elink/internal/data"
+	"elink/internal/detrand"
 	"elink/internal/elink"
 	"elink/internal/index"
 	"elink/internal/metric"
@@ -84,7 +85,7 @@ func rangeFigure(ds *data.Dataset, delta float64, fractions []float64, sc Scale,
 		r := frac * delta
 		row := make([]float64, 0, len(cols))
 		for _, name := range cols[:3] {
-			rng := rand.New(rand.NewSource(sc.Seed + 1000)) // same queries per series
+			rng := detrand.New(sc.Seed + 1000) // same queries per series
 			avg, err := rangeQueryCost(g, clusterings[name], ds.Features, m, r, sc.Queries, rng)
 			if err != nil {
 				return nil, err
@@ -154,7 +155,7 @@ func PathQueries(sc Scale) (*Table, error) {
 		// Endpoints are drawn serially (historical rng order); the path
 		// and flood searches per query pair fan out, with per-index
 		// result slots summed in order.
-		rng := rand.New(rand.NewSource(sc.Seed + 2000))
+		rng := detrand.New(sc.Seed + 2000)
 		type endpoints struct{ src, dst topology.NodeID }
 		pairs := make([]endpoints, sc.Queries)
 		for q := range pairs {

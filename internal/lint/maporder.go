@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder keeps Go's randomized map iteration order out of
+// deterministic state. Figures are pinned bitwise-identical across
+// worker counts and reruns, and a single `for k := range m` feeding an
+// ordered output — or a float accumulation, where addition order changes
+// the low bits — breaks that silently and only sometimes. A map range in
+// a deterministic package must either be one of the provably
+// order-insensitive shapes below or iterate a sorted key slice; anything
+// else needs an //elink:allow with a reason.
+//
+// Allowed shapes (the loop body as a whole must consist of them):
+//
+//   - k/v collection for later sorting:  keys = append(keys, k)
+//   - integer accumulation:              n++  /  n += len(v)   (ints
+//     only — float addition is order-sensitive in the last ulp)
+//   - keyed writes:                      other[k] = expr   (call-free
+//     expr; each key writes its own slot, so order cannot matter)
+//   - keyed deletes:                     delete(other, k)
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map ranges in deterministic packages must be order-insensitive or iterate sorted keys",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	if !contains(p.Cfg.DeterministicPkgs, p.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Pkg.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if mapRangeAllowed(p, rs) {
+				return true
+			}
+			p.Reportf(rs.Pos(), "map iteration order reaches deterministic state; collect the keys, sort them, and range the slice (or annotate the order-insensitive intent)")
+			return true
+		})
+	}
+}
+
+// mapRangeAllowed reports whether every statement of the loop body is
+// one of the order-insensitive shapes.
+func mapRangeAllowed(p *Pass, rs *ast.RangeStmt) bool {
+	key := identOf(rs.Key)
+	val := identOf(rs.Value)
+	for _, st := range rs.Body.List {
+		if !orderInsensitiveStmt(p, st, key, val) {
+			return false
+		}
+	}
+	return true
+}
+
+// identOf returns the declared ident of a range variable (nil for `_`
+// or absent).
+func identOf(e ast.Expr) *ast.Ident {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+func orderInsensitiveStmt(p *Pass, st ast.Stmt, key, val *ast.Ident) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		return isIntegerExpr(p, s.X)
+	case *ast.ExprStmt:
+		// delete(other, k)
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "delete" {
+			return false
+		}
+		if _, isBuiltin := p.Pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		return usesOnlyRangeVar(call.Args[1], key, val)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok.String() {
+		case "+=", "-=":
+			return isIntegerExpr(p, s.Lhs[0])
+		case "=":
+		default:
+			return false
+		}
+		// keys = append(keys, k)
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+				return false
+			}
+			if _, isBuiltin := p.Pkg.Info.Uses[fn].(*types.Builtin); !isBuiltin {
+				return false
+			}
+			if !sameSimpleExpr(s.Lhs[0], call.Args[0]) {
+				return false
+			}
+			for _, a := range call.Args[1:] {
+				if !usesOnlyRangeVar(a, key, val) {
+					return false
+				}
+			}
+			return true
+		}
+		// other[k] = call-free expr
+		if ix, ok := s.Lhs[0].(*ast.IndexExpr); ok {
+			return usesOnlyRangeVar(ix.Index, key, val) && callFree(s.Rhs[0])
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// usesOnlyRangeVar accepts exactly the key or value ident of the range —
+// any derived expression (even topology.NodeID(k)) falls back to the
+// sorted-keys requirement.
+func usesOnlyRangeVar(e ast.Expr, key, val *ast.Ident) bool {
+	if id, ok := e.(*ast.Ident); ok {
+		return (key != nil && id.Name == key.Name) || (val != nil && id.Name == val.Name)
+	}
+	return false
+}
+
+func isIntegerExpr(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// callFree reports whether e contains no function calls (conversions
+// included — a conversion cannot observe iteration order, but telling a
+// conversion from a call syntactically is not worth the subtlety).
+func callFree(e ast.Expr) bool {
+	free := true
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			free = false
+			return false
+		}
+		return true
+	})
+	return free
+}
+
+// sameSimpleExpr compares two expressions limited to identifiers and
+// selector chains — enough to check `x = append(x, ...)` self-append.
+func sameSimpleExpr(a, b ast.Expr) bool {
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		return ok && av.Name == bv.Name
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameSimpleExpr(av.X, bv.X)
+	default:
+		return false
+	}
+}

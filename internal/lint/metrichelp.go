@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// MetricHelp keeps /metrics self-describing: every counter, gauge and
+// histogram registered on an obs.Registry must have a non-empty HELP
+// description established by a reg.Help call in the same package as the
+// registration. The obs registry deliberately splits Help from the
+// hot-path handle lookups, which means nothing at runtime fails when a
+// HELP line is forgotten — the family silently scrapes undocumented,
+// which is exactly the kind of contract only a static pass can hold.
+var MetricHelp = &Analyzer{
+	Name: "metrichelp",
+	Doc:  "every obs metric registration needs a non-empty reg.Help in the same package",
+	Run:  runMetricHelp,
+}
+
+var registryRegistrations = map[string]bool{
+	"Counter": true, "Gauge": true, "GaugeFunc": true, "Histogram": true,
+}
+
+func runMetricHelp(p *Pass) {
+	described := make(map[string]bool)       // metric name -> has non-empty HELP
+	registered := make(map[string]token.Pos) // metric name -> earliest registration
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isRegistryMethod(p.Pkg, sel) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Help":
+				if len(call.Args) != 2 {
+					return true
+				}
+				name, nameConst := constString(p.Pkg, call.Args[0])
+				text, textConst := constString(p.Pkg, call.Args[1])
+				if textConst && text == "" {
+					p.Reportf(call.Args[1].Pos(), "empty HELP text for metric %q", name)
+					return true
+				}
+				if nameConst {
+					described[name] = true
+				}
+			case "Counter", "Gauge", "GaugeFunc", "Histogram":
+				if len(call.Args) < 1 {
+					return true
+				}
+				name, ok := constString(p.Pkg, call.Args[0])
+				if !ok {
+					p.Reportf(call.Args[0].Pos(), "metric name is not a constant string; HELP coverage cannot be checked")
+					return true
+				}
+				if pos, seen := registered[name]; !seen || call.Pos() < pos {
+					registered[name] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	names := make([]string, 0, len(registered))
+	for name := range registered {
+		if !described[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p.Reportf(registered[name], "metric %q registered without a HELP description; add reg.Help(%q, ...) in this package", name, name)
+	}
+}
+
+// isRegistryMethod reports whether sel selects one of the Registry
+// methods of a package named obs (the real internal/obs, or a fixture
+// stub in tests).
+func isRegistryMethod(pkg *Package, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Help" && !registryRegistrations[sel.Sel.Name] {
+		return false
+	}
+	s := pkg.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}
+
+// constString evaluates e as a constant string (literal or named
+// constant), reporting whether it is one.
+func constString(pkg *Package, e ast.Expr) (string, bool) {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

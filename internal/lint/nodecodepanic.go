@@ -1,0 +1,42 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoDecodePanic enforces the internal/persist contract proven by its
+// fuzz and corruption tests: hostile bytes — truncated WAL tails,
+// bit-flipped snapshots, crafted length prefixes — surface as errors,
+// never as panics, because recovery code runs exactly when the process
+// is least able to afford a crash loop. The rule covers the whole
+// package: persist is nothing but codec and I/O paths, so any reachable
+// panic is a decode-path panic.
+var NoDecodePanic = &Analyzer{
+	Name: "nodecodepanic",
+	Doc:  "no panic calls in internal/persist; decode and I/O paths return errors",
+	Run:  runNoDecodePanic,
+}
+
+func runNoDecodePanic(p *Pass) {
+	if !contains(p.Cfg.NoPanicPkgs, p.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // a local function shadowing the name
+			}
+			p.Reportf(call.Pos(), "panic in a no-panic package; decode and I/O paths must return errors (hostile bytes reach this code during recovery)")
+			return true
+		})
+	}
+}

@@ -1,0 +1,87 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeededRand enforces the randomness policy from rand.go: math/rand's
+// global source is never used (every draw would be invisible,
+// unseedable shared state that breaks run-to-run reproducibility), and
+// generators are constructed only at the internal/detrand construction
+// point so every *rand.Rand in the tree demonstrably descends from an
+// explicitly threaded seed.
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc:  "math/rand global source forbidden; rand.New/NewSource only in internal/detrand",
+	Run:  runSeededRand,
+}
+
+// Package-level math/rand functions that draw from (or reseed) the
+// hidden global source. Calling any of them anywhere in the module is a
+// violation — there is no allowlist.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 spellings
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64N": true,
+	"UintN": true, "Uint": true, "Uint32N": true, "Uint64N": true,
+}
+
+// Construction entry points, allowed only in RandConstructionPkgs.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func runSeededRand(p *Pass) {
+	allowedConstruction := contains(p.Cfg.RandConstructionPkgs, p.Pkg.ImportPath)
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			if imp.Name != nil && imp.Name.Name == "." && isRandPath(imp.Path.Value) {
+				p.Reportf(imp.Pos(), "dot-import of math/rand hides the global source; import it qualified")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !isMathRandQualifier(p.Pkg, sel.X) {
+				return true
+			}
+			name := sel.Sel.Name
+			switch {
+			case globalRandFuncs[name]:
+				p.Reportf(call.Pos(), "rand.%s draws from math/rand's global source; thread an explicit seed and use detrand.New", name)
+			case randConstructors[name] && !allowedConstruction:
+				p.Reportf(call.Pos(), "rand.%s outside the construction point; build seeded generators with detrand.New", name)
+			}
+			return true
+		})
+	}
+}
+
+func isRandPath(quoted string) bool {
+	return quoted == `"math/rand"` || quoted == `"math/rand/v2"`
+}
+
+// isMathRandQualifier reports whether e is an identifier naming the
+// math/rand (or math/rand/v2) import of this file.
+func isMathRandQualifier(pkg *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pn.Imported().Path()
+	return path == "math/rand" || path == "math/rand/v2"
+}

@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax — exactly one form, kept greppable:
+//
+//	//elink:allow <rule> — <reason>
+//
+// The annotation suppresses findings of <rule> on its own line (trailing
+// comment) or on the line directly below (comment above the statement).
+// The reason is mandatory; an em dash or a double hyphen separates it
+// from the rule name. ASCII "--" is accepted so the syntax can be typed
+// on any keyboard.
+const allowPrefix = "//elink:allow"
+
+type suppression struct {
+	pos    token.Position
+	rule   string
+	reason string
+	used   int
+}
+
+// collectSuppressions scans a package's comments for //elink:allow
+// annotations. Malformed annotations (missing rule or missing reason)
+// come back as findings — a suppression that doesn't parse must not
+// silently suppress nothing.
+func collectSuppressions(fset *token.FileSet, pkg *Package) ([]*suppression, []Diagnostic) {
+	var sups []*suppression
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rule, reason, ok := splitAllow(rest)
+				if !ok {
+					bad = append(bad, Diagnostic{
+						Pos:  pos,
+						Rule: "suppression",
+						Msg:  `malformed annotation; want //elink:allow <rule> — <reason>`,
+					})
+					continue
+				}
+				sups = append(sups, &suppression{pos: pos, rule: rule, reason: reason})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// splitAllow parses " <rule> — <reason>" (or "-- <reason>").
+func splitAllow(rest string) (rule, reason string, ok bool) {
+	rest = strings.TrimSpace(rest)
+	var sep string
+	switch {
+	case strings.Contains(rest, "—"):
+		sep = "—"
+	case strings.Contains(rest, "--"):
+		sep = "--"
+	default:
+		return "", "", false
+	}
+	rulePart, reasonPart, _ := strings.Cut(rest, sep)
+	rule = strings.TrimSpace(rulePart)
+	reason = strings.TrimSpace(reasonPart)
+	if rule == "" || strings.ContainsAny(rule, " \t") || reason == "" {
+		return "", "", false
+	}
+	return rule, reason, true
+}
+
+// applySuppressions filters diags through the annotations, crediting
+// each match to the ledger. A suppression covers findings of its rule in
+// the same file on its own line or the next line.
+func applySuppressions(diags []Diagnostic, sups []*suppression, ledger map[string]int) []Diagnostic {
+	kept := diags[:0]
+	for _, d := range diags {
+		if s := matching(sups, d); s != nil {
+			s.used++
+			ledger[d.Rule]++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+func matching(sups []*suppression, d Diagnostic) *suppression {
+	for _, s := range sups {
+		if s.rule != d.Rule || s.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if s.pos.Line == d.Pos.Line || s.pos.Line == d.Pos.Line-1 {
+			return s
+		}
+	}
+	return nil
+}
+
+// unusedSuppressions reports annotations that matched nothing, but only
+// for rules that actually ran — a filtered -rules invocation must not
+// flag the other rules' annotations as dead.
+func unusedSuppressions(sups []*suppression, analyzers []*Analyzer) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, s := range sups {
+		if s.used > 0 {
+			continue
+		}
+		if !known[s.rule] {
+			out = append(out, Diagnostic{
+				Pos:  s.pos,
+				Rule: "suppression",
+				Msg:  "unknown rule " + s.rule + " in suppression",
+			})
+			continue
+		}
+		if !ran[s.rule] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:  s.pos,
+			Rule: "suppression",
+			Msg:  "unused suppression for rule " + s.rule + "; the finding it excused is gone — delete the annotation",
+		})
+	}
+	return out
+}

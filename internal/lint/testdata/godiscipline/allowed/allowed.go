@@ -1,0 +1,18 @@
+// Package allowed stands in for internal/par: a sanctioned concurrency
+// layer that may launch goroutines directly.
+package allowed
+
+import "sync"
+
+// Fan runs fn n times concurrently.
+func Fan(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}

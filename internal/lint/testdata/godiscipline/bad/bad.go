@@ -1,0 +1,10 @@
+// Package bad launches ad-hoc goroutines outside the concurrency layers.
+package bad
+
+// Fire forgets the discipline and forks directly.
+func Fire(work func()) {
+	go work()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}

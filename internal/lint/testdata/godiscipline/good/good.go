@@ -1,0 +1,6 @@
+// Package good does its work serially and leaves parallelism to the
+// sanctioned layers.
+package good
+
+// Run executes the work inline.
+func Run(work func()) { work() }

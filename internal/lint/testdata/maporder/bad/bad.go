@@ -1,0 +1,31 @@
+// Package bad lets map iteration order leak into deterministic state.
+package bad
+
+// Sum accumulates floats in map order; addition order changes the last
+// ulp, so two runs can disagree bitwise.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Emit appends a derived value, so the output slice order follows the
+// map's randomized iteration.
+func Emit(m map[int]int, out []int) []int {
+	for k, v := range m {
+		out = append(out, k*v)
+	}
+	return out
+}
+
+// First publishes whichever key the runtime happens to visit first.
+func First(m map[int]bool) int {
+	for k := range m {
+		if m[k] {
+			return k
+		}
+	}
+	return -1
+}

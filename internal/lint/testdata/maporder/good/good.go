@@ -1,0 +1,42 @@
+// Package good iterates maps only in order-insensitive shapes or over
+// sorted keys.
+package good
+
+import "sort"
+
+// Keys is the canonical sorted-keys idiom: the in-loop append collects
+// keys for sorting, so iteration order cannot matter.
+func Keys(m map[string]int) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Count accumulates integers; integer addition commutes exactly.
+func Count(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	return n
+}
+
+// Invert writes each key's own slot; no slot is visited twice, so order
+// cannot matter.
+func Invert(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// Prune deletes by key from another map.
+func Prune(m map[string]bool, other map[string]int) {
+	for k := range m {
+		delete(other, k)
+	}
+}

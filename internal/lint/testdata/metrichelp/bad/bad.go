@@ -1,0 +1,14 @@
+// Package bad registers metrics that scrape undocumented.
+package bad
+
+import "fixture/obs"
+
+// Register forgets HELP lines three different ways.
+func Register(reg *obs.Registry) {
+	reg.Counter("undocumented_total")
+	reg.Help("blank_gauge", "")
+	reg.Gauge("blank_gauge")
+	reg.Histogram(dynamicName(), nil)
+}
+
+func dynamicName() string { return "who_knows_seconds" }

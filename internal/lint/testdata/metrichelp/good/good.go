@@ -1,0 +1,15 @@
+// Package good describes every metric it registers, including through a
+// named constant.
+package good
+
+import "fixture/obs"
+
+const histName = "request_latency_seconds"
+
+// Register pairs every registration with a non-empty HELP in-package.
+func Register(reg *obs.Registry) {
+	reg.Help("documented_total", "Things counted by the fixture.")
+	reg.Counter("documented_total", "kind", "fixture")
+	reg.Help(histName, "Latency of fixture requests.")
+	reg.Histogram(histName, []float64{0.1, 1})
+}

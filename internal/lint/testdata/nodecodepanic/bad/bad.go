@@ -1,0 +1,10 @@
+// Package bad panics on hostile bytes from inside a no-panic package.
+package bad
+
+// Decode crashes the recovery path instead of returning an error.
+func Decode(b []byte) byte {
+	if len(b) == 0 {
+		panic("empty frame")
+	}
+	return b[0]
+}

@@ -1,0 +1,22 @@
+// Package good returns errors for hostile bytes; a local function named
+// panic is not the builtin and must not trip the rule.
+package good
+
+import "errors"
+
+// Decode reports truncation as an error the recovery loop can handle.
+func Decode(b []byte) (byte, error) {
+	if len(b) == 0 {
+		return 0, errors.New("empty frame")
+	}
+	return b[0], nil
+}
+
+// report shadows the builtin's name locally.
+func report(msg string) {}
+
+// Note logs through the shadowing function.
+func Note() {
+	panic := report
+	panic("not the builtin")
+}

@@ -1,0 +1,13 @@
+// Package bad violates the explicit-seed randomness policy.
+package bad
+
+import "math/rand"
+
+// Draw leans on the hidden global source and builds an ad-hoc generator.
+func Draw() int {
+	x := rand.Intn(10)
+	_ = rand.Float64()
+	rand.Shuffle(3, func(i, j int) {})
+	r := rand.New(rand.NewSource(1))
+	return x + r.Intn(3)
+}

@@ -1,0 +1,8 @@
+// Package construct stands in for internal/detrand: the one place the
+// seededrand rule lets generators be built.
+package construct
+
+import "math/rand"
+
+// New is the fixture's construction point.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,8 @@
+// Package good draws only through an explicitly seeded generator.
+package good
+
+import "math/rand"
+
+// Draw consumes a seeded generator built at the construction point;
+// methods on *rand.Rand are fine anywhere.
+func Draw(r *rand.Rand) int { return r.Intn(10) }

@@ -1,0 +1,24 @@
+// Package bad exercises the suppression syntax: a used annotation, an
+// unused one, a malformed one and a typo'd rule name.
+package bad
+
+import "time"
+
+// Stamp is a deliberate wall-clock read, excused in place.
+func Stamp() time.Time {
+	return time.Now() //elink:allow walltime — fixture: deliberate wall-clock read
+}
+
+// Above-the-line placement also counts.
+//
+//elink:allow walltime — fixture: annotation on the line above
+func Later() time.Time { return time.Now() }
+
+//elink:allow godiscipline — fixture: nothing here launches a goroutine anymore
+func idle() {}
+
+//elink:allow walltime
+func malformed() {}
+
+//elink:allow wallclock — the rule is called walltime
+func typo() {}

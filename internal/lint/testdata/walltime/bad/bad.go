@@ -1,0 +1,13 @@
+// Package bad reads the wall clock from a deterministic package.
+package bad
+
+import "time"
+
+// Stamp makes results depend on when the run happened.
+func Stamp() time.Time { return time.Now() }
+
+// Wait stalls a deterministic pipeline on real time.
+func Wait(d time.Duration) {
+	time.Sleep(d)
+	_ = time.Since(time.Time{})
+}

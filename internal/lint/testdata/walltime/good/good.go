@@ -1,0 +1,10 @@
+// Package good manipulates time values without reading the clock.
+package good
+
+import "time"
+
+// Format renders a timestamp someone else measured; no clock is read.
+func Format(t time.Time) string { return t.Format(time.RFC3339) }
+
+// Round works in simulated rounds, the only clock deterministic code sees.
+func Round(r int) int { return r + 1 }

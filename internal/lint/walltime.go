@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallTime keeps the wall clock out of the deterministic packages. The
+// paper's reproducibility claim — identical inputs plus identical seeds
+// reproduce identical clusterings and message counts — dies the moment a
+// figure path branches on time.Now; simulated time is the only clock the
+// deterministic core may observe. Timing for telemetry lives in the
+// instrumented layers (obs, par, persist, the daemons), which are not in
+// DeterministicPkgs; the few wall-clock reads inside stream that feed
+// latency metrics carry //elink:allow annotations so they stay visible.
+var WallTime = &Analyzer{
+	Name: "walltime",
+	Doc:  "no wall-clock reads (time.Now/Since/...) in deterministic packages",
+	Run:  runWallTime,
+}
+
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true, "Sleep": true,
+}
+
+func runWallTime(p *Pass) {
+	if !contains(p.Cfg.DeterministicPkgs, p.Pkg.ImportPath) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if !wallClockFuncs[sel.Sel.Name] || !isTimeQualifier(p.Pkg, sel.X) {
+				return true
+			}
+			p.Reportf(call.Pos(), "time.%s reads the wall clock in a deterministic package; use simulated rounds or move the timing to an instrumented layer", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+func isTimeQualifier(pkg *Package, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}

@@ -18,6 +18,10 @@ func NewWALMetrics(reg *obs.Registry) WALMetrics {
 	if reg == nil {
 		return WALMetrics{}
 	}
+	reg.Help("persist_wal_records_total", "Epoch-batch records appended to the write-ahead log.")
+	reg.Help("persist_wal_bytes_total", "Framed bytes appended to the write-ahead log.")
+	reg.Help("persist_wal_fsyncs_total", "fsync calls issued by the write-ahead log.")
+	reg.Help("persist_wal_replayed_records_total", "WAL records re-applied during recovery.")
 	return WALMetrics{
 		Records:  reg.Counter("persist_wal_records_total"),
 		Bytes:    reg.Counter("persist_wal_bytes_total"),

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"elink/internal/detrand"
 	"elink/internal/topology"
 )
 
@@ -133,7 +134,7 @@ func NewAsyncNetwork(g *topology.Graph, seed int64) *AsyncNetwork {
 	}
 	for i := 0; i < n; i++ {
 		an.boxes[i] = newMailbox()
-		an.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*7919))
+		an.rngs[i] = detrand.New(seed + int64(i)*7919)
 	}
 	return an
 }
@@ -214,7 +215,7 @@ func (an *AsyncNetwork) Run() float64 {
 			continue
 		}
 		wg.Add(1)
-		go an.nodeLoop(topology.NodeID(u), &wg)
+		go an.nodeLoop(topology.NodeID(u), &wg) //elink:allow godiscipline — the async runtime models free-running sensor nodes; par's fork-join layout cannot express them
 	}
 
 	for {

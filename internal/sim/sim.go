@@ -21,6 +21,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"elink/internal/detrand"
 	"elink/internal/topology"
 )
 
@@ -184,7 +185,7 @@ func NewNetwork(g *topology.Graph, delay DelayModel, seed int64) *Network {
 		routes:    g.Routes(),
 		protocols: make([]Protocol, g.N()),
 		delay:     delay,
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       detrand.New(seed),
 		counts:    make(map[string]int64),
 		perNode:   make([]int64, g.N()),
 		MaxEvents: int64(g.N())*100000 + 1000000,

@@ -563,9 +563,9 @@ func (e *Engine) RangeQuerySpanned(q metric.Feature, r float64, initiator topolo
 		return nil, fmt.Errorf("stream: initiator %d outside [0,%d)", initiator, e.g.N())
 	}
 	sp := e.startSpan("range-query", parent)
-	start := time.Now()
+	start := time.Now() //elink:allow walltime — query latency telemetry; never feeds deterministic figure state
 	res := query.RangeSpanned(s.Index, q, r, initiator, sp)
-	d := time.Since(start)
+	d := time.Since(start) //elink:allow walltime — query latency telemetry; never feeds deterministic figure state
 	sp.Finish()
 	e.recordQuery(&e.rangeQ, d, res.Stats.Messages)
 	query.ObserveRange(e.cfg.Obs, res, d)
@@ -589,9 +589,9 @@ func (e *Engine) PathQuerySpanned(danger metric.Feature, gamma float64, src, dst
 		return nil, fmt.Errorf("stream: endpoints (%d,%d) outside [0,%d)", src, dst, e.g.N())
 	}
 	sp := e.startSpan("path-query", parent)
-	start := time.Now()
+	start := time.Now() //elink:allow walltime — query latency telemetry; never feeds deterministic figure state
 	res := query.PathSpanned(s.Index, danger, gamma, src, dst, sp)
-	d := time.Since(start)
+	d := time.Since(start) //elink:allow walltime — query latency telemetry; never feeds deterministic figure state
 	sp.Finish()
 	e.recordQuery(&e.pathQ, d, res.Stats.Messages)
 	query.ObservePath(e.cfg.Obs, res, d)
@@ -614,7 +614,7 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	s := Stats{
 		Epochs:        e.epoch,
-		CollectedAt:   time.Now(),
+		CollectedAt:   time.Now(), //elink:allow walltime — Stats.CollectedAt is a scrape timestamp, not engine state
 		Readings:      e.readings,
 		Updates:       e.updates,
 		Screening:     e.screening,

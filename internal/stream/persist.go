@@ -144,7 +144,7 @@ func (e *Engine) stateLocked() *persist.EngineState {
 func (e *Engine) SaveSnapshot(w io.Writer) (persist.SnapshotInfo, error) {
 	sp := e.cfg.Spans.Start("snapshot")
 	defer sp.Finish()
-	start := time.Now()
+	start := time.Now() //elink:allow walltime — snapshot latency telemetry; not part of the snapshot bytes
 	cs := sp.Child("copy-state")
 	e.mu.Lock()
 	st := e.stateLocked()
@@ -155,7 +155,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) (persist.SnapshotInfo, error) {
 		Bytes:    n,
 		Seq:      st.Seq,
 		Epoch:    st.Epoch,
-		Duration: time.Since(start),
+		Duration: time.Since(start), //elink:allow walltime — snapshot latency telemetry; not part of the snapshot bytes
 	}
 	if err != nil {
 		return info, fmt.Errorf("stream: write snapshot: %w", err)
@@ -172,7 +172,7 @@ func (e *Engine) SaveSnapshot(w io.Writer) (persist.SnapshotInfo, error) {
 func (e *Engine) Restore(r io.Reader) error {
 	sp := e.cfg.Spans.Start("restore")
 	defer sp.Finish()
-	start := time.Now()
+	start := time.Now() //elink:allow walltime — restore latency telemetry; recovered state comes from the snapshot bytes
 	ds := sp.Child("decode")
 	st, err := persist.ReadSnapshot(r)
 	ds.Finish()
@@ -263,7 +263,7 @@ func (e *Engine) Restore(r io.Reader) error {
 		e.idxPublished = false
 		e.snap.Store(nil)
 	}
-	e.eobs.restore(time.Since(start))
+	e.eobs.restore(time.Since(start)) //elink:allow walltime — restore latency telemetry; recovered state comes from the snapshot bytes
 	return nil
 }
 

@@ -7,10 +7,19 @@
 // configuration, so identical inputs plus identical seeds reproduce
 // identical clusterings, message counts and query answers end to end.
 // math/rand's global source is never used.
+//
+// The policy is machine-checked: the seededrand analyzer (internal/lint,
+// run by `make lint`) rejects global-source calls everywhere and allows
+// rand.New/rand.NewSource only inside internal/detrand, the module's
+// single construction point that newRand delegates to.
 package elink
 
-import "math/rand"
+import (
+	"math/rand"
 
-// newRand is the single construction point for seeded generators handed
-// to the internal packages.
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+	"elink/internal/detrand"
+)
+
+// newRand is the facade's construction point for seeded generators
+// handed to the internal packages.
+func newRand(seed int64) *rand.Rand { return detrand.New(seed) }

@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check build vet lint fmt test race bench bench-obs bench-routes bench-parallel bench-persist bench-spans bench-diff examples clean
+.PHONY: check build vet lint fmt test race bench bench-obs bench-routes bench-parallel bench-persist bench-eigen-sparse bench-eigen-diff bench-spans bench-diff examples clean
 
 ## check: everything CI runs — build, vet, the invariant analyzers,
 ## gofmt cleanliness, tests, the race pass, then the routing,
-## parallel-layer and durability benches so perf regressions on the hot
-## paths are visible per commit (bench-persist writes the
-## BENCH_persist.new.json scratch file; gate it with bench-diff)
-check: build vet lint fmt test race bench-routes bench-parallel bench-persist
+## parallel-layer, durability and sparse-eigensolver benches so perf
+## regressions on the hot paths are visible per commit (bench-persist
+## and bench-eigen-sparse write *.new.json scratch files; gate them with
+## bench-diff / bench-eigen-diff)
+check: build vet lint fmt test race bench-routes bench-parallel bench-persist bench-eigen-sparse
 
 build:
 	$(GO) build ./...
@@ -65,6 +66,22 @@ bench-parallel:
 ## with  cp BENCH_persist.new.json BENCH_persist.json
 bench-persist:
 	$(GO) run ./cmd/elink-experiments -only persistbench -persist-out BENCH_persist.new.json
+
+## bench-eigen-sparse: the sparse spectral engine — LOBPCG bottom-k
+## ladder on grid Laplacians up to n=20000, the legacy subspace-iteration
+## comparison arm, the sparsification pre-pass, and the end-to-end
+## spectral baseline on a 10k-node grid — dumped to the
+## BENCH_eigen_sparse.new.json scratch file (gitignored). Compare against
+## the committed BENCH_eigen_sparse.json with bench-eigen-diff; promote
+## an accepted run with  cp BENCH_eigen_sparse.new.json BENCH_eigen_sparse.json
+bench-eigen-sparse:
+	$(GO) run ./cmd/elink-experiments -only eigensparse -paper -eigen-sparse-out BENCH_eigen_sparse.new.json
+
+## bench-eigen-diff: regenerate the sparse-eigensolver benchmark and gate
+## it against the committed BENCH_eigen_sparse.json snapshot
+bench-eigen-diff:
+	$(MAKE) bench-diff BENCH_OLD=BENCH_eigen_sparse.json BENCH_NEW=BENCH_eigen_sparse.new.json \
+		BENCH_REGEN='$(GO) run ./cmd/elink-experiments -only eigensparse -paper -eigen-sparse-out BENCH_eigen_sparse.new.json'
 
 ## bench-spans: replay the Tao stream bare and span-traced, print the
 ## per-phase p50/p95/max latency attribution table with the measured

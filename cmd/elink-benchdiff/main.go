@@ -86,21 +86,40 @@ const (
 	context                       // reps, workers, counts: informational only
 )
 
-func classify(path string) direction {
+// knownContext names the numeric fields that are deliberately
+// informational: run shape (sizes, repetition counts, worker counts) and
+// deterministic outputs (iteration counts, edge counts, cluster counts)
+// that the gate compares but never fails on. A numeric leaf that neither
+// matches a direction suffix nor appears here is reported as
+// unclassified so new schema fields cannot silently land ungated.
+var knownContext = map[string]bool{
+	"n": true, "nodes": true, "reps": true, "workers": true,
+	"gomaxprocs": true, "sweeps": true, "epochs": true, "traces": true,
+	"count": true, "iters": true, "k": true, "tol": true, "seed": true,
+	"clusters": true, "nnz": true, "nnz_sparsified": true,
+	"messages_routed": true,
+}
+
+// classify returns a metric path's direction plus whether the final
+// field name was recognized at all — unrecognized numeric leaves fall
+// into the ungated context bucket and should be surfaced as warnings.
+func classify(path string) (direction, bool) {
 	field := path
 	if i := strings.LastIndexByte(field, '.'); i >= 0 {
 		field = field[i+1:]
 	}
 	switch {
 	case strings.Contains(field, "speedup"):
-		return higherBetter
+		return higherBetter, true
 	case strings.HasSuffix(field, "_ms") || strings.HasSuffix(field, "_ns") ||
 		strings.Contains(field, "_ns_per_") || strings.HasSuffix(field, "_seconds") ||
 		strings.HasSuffix(field, "bytes") || strings.HasSuffix(field, "_us") ||
-		strings.HasSuffix(field, "_per_node") || strings.HasSuffix(field, "_pct"):
-		return lowerBetter
+		strings.HasSuffix(field, "_per_node") || strings.HasSuffix(field, "_pct") ||
+		strings.HasSuffix(field, "_mb") || strings.HasSuffix(field, "_s") ||
+		strings.Contains(field, "residual"):
+		return lowerBetter, true
 	}
-	return context
+	return context, knownContext[field]
 }
 
 // flatten walks a decoded JSON document into path → numeric leaf.
@@ -169,6 +188,10 @@ type report struct {
 	// ctxChanged are non-numeric fields whose values differ (host,
 	// schema version) — reported, never failing.
 	ctxChanged []string
+	// unclassified are numeric paths whose field name matched no
+	// direction rule and no known context name — warned about so new
+	// schema fields don't silently escape the gate.
+	unclassified []string
 }
 
 func diff(oldDoc, newDoc any, tolPct float64) report {
@@ -178,13 +201,22 @@ func diff(oldDoc, newDoc any, tolPct float64) report {
 	flatten(newDoc, "", newNum, newCtx)
 
 	var rep report
+	seenUnclassified := map[string]bool{}
+	noteUnclassified := func(path string) {
+		if _, known := classify(path); !known && !seenUnclassified[path] {
+			seenUnclassified[path] = true
+			rep.unclassified = append(rep.unclassified, path)
+		}
+	}
 	for path, ov := range oldNum {
+		noteUnclassified(path)
 		nv, ok := newNum[path]
 		if !ok {
 			rep.onlyOld = append(rep.onlyOld, path)
 			continue
 		}
-		d := metricDiff{path: path, dir: classify(path), oldV: ov, newV: nv}
+		dir, _ := classify(path)
+		d := metricDiff{path: path, dir: dir, oldV: ov, newV: nv}
 		if ov != 0 {
 			d.deltaPct = 100 * (nv/ov - 1)
 		} else if nv != 0 {
@@ -202,6 +234,7 @@ func diff(oldDoc, newDoc any, tolPct float64) report {
 		rep.metrics = append(rep.metrics, d)
 	}
 	for path := range newNum {
+		noteUnclassified(path)
 		if _, ok := oldNum[path]; !ok {
 			rep.onlyNew = append(rep.onlyNew, path)
 		}
@@ -216,6 +249,7 @@ func diff(oldDoc, newDoc any, tolPct float64) report {
 	sort.Strings(rep.onlyOld)
 	sort.Strings(rep.onlyNew)
 	sort.Strings(rep.ctxChanged)
+	sort.Strings(rep.unclassified)
 	return rep
 }
 
@@ -250,5 +284,8 @@ func render(w *os.File, rep report, all bool) {
 	}
 	for _, c := range rep.ctxChanged {
 		fmt.Fprintf(w, "context changed: %s\n", c)
+	}
+	for _, p := range rep.unclassified {
+		fmt.Fprintf(w, "warning: unclassified numeric metric %s (add a direction suffix or a knownContext entry; currently ungated)\n", p)
 	}
 }

@@ -106,14 +106,60 @@ func TestClassify(t *testing.T) {
 		"harness.speedup":                       higherBetter,
 		"overhead_pct":                          lowerBetter,
 		"phases[phase=epoch].p95_us":            lowerBetter,
+		"ladder[n=2500].lobpcg_ms":              lowerBetter,
+		"ladder[n=2500].worst_residual":         lowerBetter,
+		"ladder[n=2500].legacy_residual":        lowerBetter,
+		"snapshot_mb":                           lowerBetter,
+		"spectral.wall_s":                       lowerBetter,
 		"reps":                                  context,
 		"gomaxprocs":                            context,
 		"workers":                               context,
 		"rows[n=500].messages_routed":           context,
+		"ladder[n=2500].iters":                  context,
+		"ladder[n=2500].nnz":                    context,
+		"sparsify.nnz_sparsified":               context,
+		"spectral.clusters":                     context,
+		"k":                                     context,
+		"tol":                                   context,
 	}
 	for path, want := range cases {
-		if got := classify(path); got != want {
+		got, known := classify(path)
+		if got != want {
 			t.Errorf("classify(%q) = %v, want %v", path, got, want)
 		}
+		if !known {
+			t.Errorf("classify(%q) reports the field as unrecognized", path)
+		}
+	}
+}
+
+// TestDiffWarnsOnUnclassified: a numeric leaf matching no direction rule
+// and no known context name is surfaced (once per path, from either
+// file) but never fails the gate.
+func TestDiffWarnsOnUnclassified(t *testing.T) {
+	oldDoc := parse(t, `{"rows":[{"n":1,"snapshot_ms":1,"mystery_metric":5}]}`)
+	newDoc := parse(t, `{"rows":[{"n":1,"snapshot_ms":1,"mystery_metric":50}],"novel_gauge":2}`)
+	rep := diff(oldDoc, newDoc, 10)
+	if len(rep.regressions) != 0 {
+		t.Fatalf("unclassified metrics failed the gate: %v", rep.regressions)
+	}
+	want := []string{"novel_gauge", "rows[n=1].mystery_metric"}
+	if len(rep.unclassified) != len(want) {
+		t.Fatalf("unclassified = %v, want %v", rep.unclassified, want)
+	}
+	for i, p := range want {
+		if rep.unclassified[i] != p {
+			t.Fatalf("unclassified = %v, want %v", rep.unclassified, want)
+		}
+	}
+	// Every field of the committed BENCH schemas stays classified: no
+	// warning for the fields the suites actually emit.
+	clean := parse(t, `{"gomaxprocs":1,"workers":1,"k":8,"tol":0.0002,"ladder":[
+		{"n":2500,"nnz":12300,"lobpcg_ms":950,"iters":55,"worst_residual":0.0002,
+		 "legacy_ms":380,"legacy_residual":0.0004}],
+		"spectral":{"n":10000,"spectral_wall_ms":19000,"clusters":8},
+		"sparsify":{"n":4000,"nnz":156824,"nnz_sparsified":67998,"solve_ms":883,"solve_sparsified_ms":841}}`)
+	if rep := diff(clean, clean, 10); len(rep.unclassified) != 0 {
+		t.Fatalf("BENCH_eigen_sparse schema has unclassified fields: %v", rep.unclassified)
 	}
 }

@@ -57,6 +57,7 @@ var figures = []struct {
 	{"routes", experiments.RoutesBench},
 	{"parbench", experiments.ParallelBench},
 	{"persistbench", experiments.PersistBench},
+	{"eigensparse", experiments.EigenSparseBench},
 }
 
 func validNames() string {
@@ -97,6 +98,7 @@ func main() {
 		routeOut = flag.String("routes-out", "", "with the routes figure: write the routing benchmark results to this file as JSON")
 		parOut   = flag.String("par-out", "", "with the parbench figure: write the parallel-layer benchmark results to this file as JSON (run it via -only parbench so concurrent figures don't distort timings)")
 		persOut  = flag.String("persist-out", "", "with the persistbench figure: write the snapshot/restore benchmark results to this file as JSON (run it via -only persistbench so concurrent figures don't distort timings)")
+		eigenOut = flag.String("eigen-sparse-out", "", "with the eigensparse figure: write the sparse eigensolver ladder results to this file as JSON (run it via -only eigensparse -paper for the committed n=20000 ladder shape)")
 	)
 	flag.Parse()
 
@@ -170,6 +172,8 @@ func main() {
 			run = dumpTo(*parOut, experiments.ParallelBenchTo)
 		case f.name == "persistbench" && *persOut != "":
 			run = dumpTo(*persOut, experiments.PersistBenchTo)
+		case f.name == "eigensparse" && *eigenOut != "":
+			run = dumpTo(*eigenOut, experiments.EigenSparseBenchTo)
 		}
 		selected = append(selected, figEntry{name: f.name, run: run})
 	}

@@ -6,6 +6,7 @@
 package baseline
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -31,11 +32,28 @@ type SpectralConfig struct {
 	// (The paper's affinity table uses raw distances on edges; we use the
 	// Gaussian kernel the cited NJW algorithm requires — see DESIGN.md.)
 	Sigma float64
-	// Seed drives k-means and Lanczos initialization.
+	// Seed drives k-means and sparse-eigensolver initialization.
 	Seed int64
-	// MaxK caps the cluster search (defaults to N).
+	// MaxK caps the cluster search (defaults to N). The search explores
+	// the whole range even past the embedding-dimension cap: above it,
+	// k-means still partitions into k clusters over the capped embedding
+	// and the δ-repair pass does the fine splitting.
 	MaxK int
+	// SparsifyTargetDegree tunes the spectral-sparsification pre-pass of
+	// the sparse eigensolver path (networks above denseEigenLimit
+	// nodes): when the affinity graph's average degree exceeds the
+	// target, edges are importance-sampled by effective-resistance proxy
+	// down to roughly this average degree before the decomposition.
+	// 0 applies the default (32); negative disables the pre-pass. The
+	// dense path never sparsifies.
+	SparsifyTargetDegree float64
 }
+
+// defaultSparsifyDegree is the sparsification target when the caller
+// leaves SparsifyTargetDegree at zero. Sensor-network affinity graphs
+// (grids, geometric radii) sit far below it, so the pre-pass only
+// engages on genuinely dense affinities.
+const defaultSparsifyDegree = 32
 
 // Spectral runs the centralized algorithm: nodes ship features to the
 // base station (cost accounted separately by the CentralizedCost model),
@@ -89,34 +107,77 @@ func Spectral(g *topology.Graph, cfg SpectralConfig) (*cluster.Result, error) {
 	}
 
 	// The eigenvectors do not depend on k, so compute them once: a full
-	// dense decomposition for small networks, or a generous sparse top-K
-	// (grown on demand) for large ones. Each k in the search then only
+	// dense decomposition for small networks, or a generous sparse
+	// bottom-K of the normalized Laplacian (grown on demand, LOBPCG over
+	// the CSR engine) for large ones. Each k in the search then only
 	// costs a k-means over the first k columns plus the repair pass.
-	solver := newEigenCache(lap, rng)
-
-	// kmeansCap bounds the embedding dimension: beyond it, the repair
-	// pass does the splitting more cheaply than k-means would.
-	kmeansCap := cfg.MaxK
-	if kmeansCap > 256 {
-		kmeansCap = 256
+	solver, err := newEigenCache(aff, lap, cfg, rng)
+	if err != nil {
+		return nil, err
 	}
 
-	try := func(k int) (*cluster.Clustering, error) {
-		c, err := spectralPartition(g, solver, k, rng)
+	// The embedding dimension is capped (the repair pass does the fine
+	// splitting more cheaply than extra eigenvectors would), but the
+	// k-search itself runs all the way to cfg.MaxK — the cap no longer
+	// silently truncates the search range.
+	embCap := kmeansCap
+	if solver.sparse() {
+		embCap = sparseEmbedCap
+	}
+	if embCap > cfg.MaxK {
+		embCap = cfg.MaxK
+	}
+
+	try := func(k, embDim int) (*cluster.Clustering, error) {
+		c, err := spectralPartition(g, solver, k, embDim, rng)
 		if err != nil {
 			return nil, err
 		}
 		return repairDelta(c, cfg.Features, cfg.Metric, cfg.Delta), nil
 	}
+	best, err := spectralSearch(cfg.MaxK, embCap, try)
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.Result{
+		Clustering: best.SplitDisconnected(g),
+		Stats:      cluster.Stats{}, // communication is charged by CentralizedCost
+	}, nil
+}
 
+// kmeansCap bounds the embedding dimension of the dense eigensolver
+// path; sparseEmbedCap bounds it on the sparse path, where every extra
+// eigenvector costs LOBPCG block width and iterations (the bottom of a
+// sensor-network Laplacian spectrum has tiny gaps, so wide solves are
+// the dominant cost at 10k+ nodes). Beyond the cap the δ-repair pass
+// does the splitting more cheaply than k-means over a wider embedding
+// would.
+const (
+	kmeansCap      = 256
+	sparseEmbedCap = 16
+)
+
+// spectralSearch runs the k search: a doubling sweep over [1, maxK],
+// then a local refinement around the best k, keeping the clustering with
+// the fewest clusters. try is called with the embedding dimension
+// min(k, embCap) — the fix for the old behaviour where the whole search
+// range (not just the embedding width) was clamped to the cap, so
+// callers with MaxK above it silently got a truncated search.
+func spectralSearch(maxK, embCap int, try func(k, embDim int) (*cluster.Clustering, error)) (*cluster.Clustering, error) {
+	dim := func(k int) int {
+		if k > embCap {
+			return embCap
+		}
+		return k
+	}
 	var best *cluster.Clustering
 	tried := map[int]bool{}
 	attempt := func(k int) error {
-		if k < 1 || k > kmeansCap || tried[k] {
+		if k < 1 || k > maxK || tried[k] {
 			return nil
 		}
 		tried[k] = true
-		c, err := try(k)
+		c, err := try(k, dim(k))
 		if err != nil {
 			return err
 		}
@@ -127,9 +188,9 @@ func Spectral(g *topology.Graph, cfg SpectralConfig) (*cluster.Result, error) {
 	}
 	// Doubling sweep, then a local refinement around the best k.
 	bestK := 1
-	bestCount := n + 1
-	for k := 1; k <= kmeansCap; k *= 2 {
-		c, err := try(k)
+	bestCount := math.MaxInt
+	for k := 1; k <= maxK; k *= 2 {
+		c, err := try(k, dim(k))
 		if err != nil {
 			return nil, err
 		}
@@ -143,10 +204,7 @@ func Spectral(g *topology.Graph, cfg SpectralConfig) (*cluster.Result, error) {
 			return nil, err
 		}
 	}
-	return &cluster.Result{
-		Clustering: best.SplitDisconnected(g),
-		Stats:      cluster.Stats{}, // communication is charged by CentralizedCost
-	}, nil
+	return best, nil
 }
 
 // repairDelta splits every cluster that violates the δ-condition into
@@ -196,53 +254,103 @@ func clusterSatisfiesDelta(members []topology.NodeID, feats []metric.Feature, m 
 }
 
 // eigenCache computes the spectral embedding's eigenvectors lazily and
-// reuses them across the whole k search.
+// reuses them across the whole k search. Small networks take one dense
+// Jacobi decomposition of the normalized affinity; large ones run the
+// sparse engine — CSR normalized Laplacian (optionally thinned by the
+// sparsification pre-pass) through the LOBPCG bottom-k solver, whose
+// bottom eigenvectors are exactly the NJW top eigenvectors.
 type eigenCache struct {
-	lap  *linalg.SparseSym
-	rng  *rand.Rand
-	vecs *linalg.Matrix // top-`have` eigenvectors as columns
-	have int
-	full bool // vecs holds the complete decomposition
+	denseAff *linalg.SparseSym // normalized affinity (dense path only)
+	lap      *linalg.CSR       // normalized Laplacian (sparse path only)
+	maxDim   int               // sparse path: the one solve's width
+	rng      *rand.Rand
+	vecs     *linalg.Matrix // top eigenvectors as columns
 }
 
 // denseEigenLimit is the size up to which one full Jacobi decomposition
-// is cheaper than repeated sparse solves.
-const denseEigenLimit = 700
+// is cheaper than repeated sparse solves. It is a variable only so the
+// sparse-vs-dense equivalence test can force the sparse path at
+// test-friendly sizes.
+var denseEigenLimit = 700
 
-func newEigenCache(lap *linalg.SparseSym, rng *rand.Rand) *eigenCache {
-	return &eigenCache{lap: lap, rng: rng}
+// sparseSolveTol is the convergence tolerance the sparse path requests:
+// looser than the solver's 1e-6 default because k-means over the
+// embedding is insensitive to eigenvector perturbations at this level
+// while the bottom of a sensor-network Laplacian spectrum converges
+// slowly (tiny gaps), so the tight default costs 2-3x the iterations
+// for no clustering difference. sparseResidualBudget is the residual
+// the path still accepts from an iteration-starved solve; anything
+// worse propagates the solver's ErrNoConvergence.
+const (
+	sparseSolveTol       = 2e-4
+	sparseResidualBudget = 1e-3
+)
+
+// newEigenCache picks the decomposition path. aff is the raw affinity
+// (self-loops included), lap the normalized affinity; both are built
+// duplicate-free by Spectral, which FinalizeStrict verifies on the
+// sparse path.
+func newEigenCache(aff, lap *linalg.SparseSym, cfg SpectralConfig, rng *rand.Rand) (*eigenCache, error) {
+	if aff.N <= denseEigenLimit {
+		return &eigenCache{denseAff: lap, rng: rng}, nil
+	}
+	csr, err := aff.FinalizeStrict()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: affinity build: %w", err)
+	}
+	target := cfg.SparsifyTargetDegree
+	if target == 0 {
+		target = defaultSparsifyDegree
+	}
+	if target > 0 {
+		csr = linalg.Sparsify(csr, target, rng)
+	}
+	maxDim := sparseEmbedCap
+	if maxDim > cfg.MaxK {
+		maxDim = cfg.MaxK
+	}
+	if maxDim > aff.N {
+		maxDim = aff.N
+	}
+	return &eigenCache{lap: csr.NormalizedLaplacian(), maxDim: maxDim, rng: rng}, nil
 }
 
-// topK returns the top-k eigenvectors, computing or extending the cache
-// as needed.
+// sparse reports whether the cache runs the sparse engine.
+func (e *eigenCache) sparse() bool { return e.lap != nil }
+
+// topK returns the top-k eigenvectors of the normalized affinity,
+// computing the cache on first use. The dense path decomposes fully;
+// the sparse path runs exactly one LOBPCG solve at maxDim — the widest
+// embedding the search will ever request — so the slow-gap bottom
+// spectrum is paid for once, not per search step.
 func (e *eigenCache) topK(k int) (*linalg.Matrix, error) {
-	n := e.lap.N
+	n := e.n()
 	if k > n {
 		k = n
 	}
-	if e.vecs == nil || (e.have < k && !e.full) {
-		if n <= denseEigenLimit {
-			_, vecs, err := linalg.EigenSym(e.lap.Dense())
+	if e.vecs == nil {
+		if !e.sparse() {
+			_, vecs, err := linalg.EigenSym(e.denseAff.Dense())
 			if err != nil {
 				return nil, err
 			}
-			e.vecs, e.have, e.full = vecs, n, true
+			e.vecs = vecs
 		} else {
-			// Grow in generous steps so a binary search triggers at most
-			// a couple of sparse solves.
-			want := k + 16
-			if e.have > 0 && want < 2*e.have {
-				want = 2 * e.have
-			}
-			if want > n {
-				want = n
-			}
-			_, vecs, err := e.lap.EigenTopK(want, e.rng)
+			opt := linalg.BottomKOptions{Tol: sparseSolveTol}
+			res, err := e.lap.EigenBottomK(e.maxDim, e.rng, opt)
 			if err != nil {
-				return nil, err
+				// Accept iteration-starved solves inside the documented
+				// residual budget; anything else is a hard failure.
+				var ce *linalg.ConvergenceError
+				if !errors.As(err, &ce) || worstResidual(ce.Residuals) > sparseResidualBudget {
+					return nil, fmt.Errorf("baseline: sparse eigensolve (k=%d): %w", e.maxDim, err)
+				}
 			}
-			e.vecs, e.have, e.full = vecs, vecs.Cols, vecs.Cols == n
+			e.vecs = res.Vectors
 		}
+	}
+	if k > e.vecs.Cols {
+		k = e.vecs.Cols
 	}
 	out := linalg.NewMatrix(n, k)
 	for c := 0; c < k; c++ {
@@ -253,7 +361,28 @@ func (e *eigenCache) topK(k int) (*linalg.Matrix, error) {
 	return out, nil
 }
 
-func spectralPartition(g *topology.Graph, solver *eigenCache, k int, rng *rand.Rand) (*cluster.Clustering, error) {
+func (e *eigenCache) n() int {
+	if e.sparse() {
+		return e.lap.N
+	}
+	return e.denseAff.N
+}
+
+func worstResidual(res []float64) float64 {
+	worst := 0.0
+	for _, r := range res {
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// spectralPartition embeds the nodes into embDim eigenvector
+// coordinates and k-means-partitions them into k clusters. embDim is
+// min(k, embedding cap): above the cap, k-means still splits into k
+// clusters — the capped embedding only bounds the coordinate width.
+func spectralPartition(g *topology.Graph, solver *eigenCache, k, embDim int, rng *rand.Rand) (*cluster.Clustering, error) {
 	n := g.N()
 	if k >= n {
 		labels := make([]int, n)
@@ -265,7 +394,7 @@ func spectralPartition(g *topology.Graph, solver *eigenCache, k int, rng *rand.R
 	if k == 1 {
 		return cluster.FromAssignment(make([]int, n)), nil
 	}
-	vecs, err := solver.topK(k)
+	vecs, err := solver.topK(embDim)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"elink/internal/cluster"
+	"elink/internal/metric"
+	"elink/internal/topology"
+)
+
+func fakeClustering(numClusters int) *cluster.Clustering {
+	labels := make([]int, numClusters)
+	for i := range labels {
+		labels[i] = i
+	}
+	return cluster.FromAssignment(labels)
+}
+
+// TestSpectralSearchExploresAboveEmbeddingCap pins the search-cap bugfix:
+// the doubling sweep must explore k all the way to maxK even when the
+// embedding dimension is capped far below it. The old code clamped the
+// whole search range to the cap, so a configuration whose best k lies
+// above it silently returned a worse clustering.
+func TestSpectralSearchExploresAboveEmbeddingCap(t *testing.T) {
+	const (
+		maxK   = 2000
+		embCap = 256
+	)
+	var ks, dims []int
+	// Cluster count minimized at k=512 — above the embedding cap, so the
+	// pre-fix search (capped at 256) could never find it.
+	try := func(k, embDim int) (*cluster.Clustering, error) {
+		ks = append(ks, k)
+		dims = append(dims, embDim)
+		count := k - 512
+		if count < 0 {
+			count = -count
+		}
+		return fakeClustering(count + 10), nil
+	}
+	best, err := spectralSearch(maxK, embCap, try)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.NumClusters() != 10 {
+		t.Errorf("best clustering has %d clusters, want 10 (found at k=512 > cap)", best.NumClusters())
+	}
+	sawAboveCap := false
+	for i, k := range ks {
+		if k > embCap {
+			sawAboveCap = true
+		}
+		if k > maxK {
+			t.Errorf("search tried k=%d above maxK=%d", k, maxK)
+		}
+		wantDim := k
+		if wantDim > embCap {
+			wantDim = embCap
+		}
+		if dims[i] != wantDim {
+			t.Errorf("k=%d used embedding dim %d, want min(k, cap)=%d", k, dims[i], wantDim)
+		}
+	}
+	if !sawAboveCap {
+		t.Fatalf("search never explored above the embedding cap: ks=%v", ks)
+	}
+}
+
+// pairwiseAgreement is the Rand index between two assignments: the
+// fraction of node pairs on which the clusterings agree (together in
+// both, or separated in both).
+func pairwiseAgreement(a, b []int) float64 {
+	agree, total := 0, 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			total++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				agree++
+			}
+		}
+	}
+	return float64(agree) / float64(total)
+}
+
+// TestSpectralSparseMatchesDense is the sparse-vs-dense golden: forcing
+// the sparse engine (CSR + LOBPCG) on a network the dense path normally
+// handles must reproduce essentially the same clustering — same band
+// structure, near-identical pair assignments.
+func TestSpectralSparseMatchesDense(t *testing.T) {
+	g := topology.NewGrid(10, 20)
+	rng := rand.New(rand.NewSource(14))
+	feats := bandedFeatures(g, 3, 10, rng)
+	cfg := SpectralConfig{Delta: 2, Metric: metric.Scalar{}, Features: feats, Seed: 6, MaxK: 8}
+
+	dense, err := Spectral(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved := denseEigenLimit
+	denseEigenLimit = 50 // force the sparse engine on this 200-node grid
+	defer func() { denseEigenLimit = saved }()
+	sparse, err := Spectral(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkValid(t, "spectral (dense)", g, dense, feats, 2)
+	checkValid(t, "spectral (sparse)", g, sparse, feats, 2)
+	dn, sn := dense.Clustering.NumClusters(), sparse.Clustering.NumClusters()
+	if dn < 3 || dn > 7 || sn < 3 || sn > 7 {
+		t.Errorf("cluster counts dense=%d sparse=%d, want both near the 3 bands", dn, sn)
+	}
+	if agree := pairwiseAgreement(dense.Clustering.Assign, sparse.Clustering.Assign); agree < 0.9 {
+		t.Errorf("sparse and dense clusterings agree on only %.3f of pairs, want >= 0.9", agree)
+	}
+}
+
+// TestSpectralSparsifyKnob covers the config plumbing of the
+// sparsification pre-pass: explicit disable and explicit target both
+// yield valid clusterings on the sparse path.
+func TestSpectralSparsifyKnob(t *testing.T) {
+	g := topology.NewGrid(8, 16)
+	rng := rand.New(rand.NewSource(23))
+	feats := bandedFeatures(g, 3, 10, rng)
+	saved := denseEigenLimit
+	denseEigenLimit = 50
+	defer func() { denseEigenLimit = saved }()
+	for _, target := range []float64{-1, 6} {
+		cfg := SpectralConfig{
+			Delta: 2, Metric: metric.Scalar{}, Features: feats, Seed: 9,
+			MaxK: 8, SparsifyTargetDegree: target,
+		}
+		res, err := Spectral(g, cfg)
+		if err != nil {
+			t.Fatalf("target %v: %v", target, err)
+		}
+		checkValid(t, "spectral (sparsify knob)", g, res, feats, 2)
+	}
+}

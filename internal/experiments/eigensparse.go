@@ -1,0 +1,320 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"elink/internal/baseline"
+	"elink/internal/detrand"
+	"elink/internal/linalg"
+	"elink/internal/metric"
+	"elink/internal/par"
+	"elink/internal/topology"
+)
+
+// eigenSparseK is the bottom-k width every ladder solve requests, and
+// eigenSparseTol mirrors the spectral baseline's sparse-path tolerance
+// so the ladder times the configuration the baseline actually runs.
+const (
+	eigenSparseK   = 8
+	eigenSparseTol = 2e-4
+)
+
+// eigenSparseLegacyMaxN caps the legacy subspace-iteration comparison
+// arm: EigenTopK's fixed 400-iteration budget already takes seconds at
+// 2500 nodes and would dominate the bench above it.
+const eigenSparseLegacyMaxN = 2500
+
+// eigenSparseRow is one ladder rung in BENCH_eigen_sparse.json.
+type eigenSparseRow struct {
+	N             int     `json:"n"`
+	NNZ           int     `json:"nnz"`
+	LobpcgMs      float64 `json:"lobpcg_ms"`
+	Iters         int     `json:"iters"`
+	WorstResidual float64 `json:"worst_residual"`
+	// Legacy arm: the pre-existing dense-vector subspace iteration
+	// (SparseSym.EigenTopK) on the same operator, small sizes only.
+	LegacyMs       float64 `json:"legacy_ms,omitempty"`
+	LegacyResidual float64 `json:"legacy_residual,omitempty"`
+}
+
+// eigenSparseSpectral records the end-to-end spectral-baseline arm: the
+// ROADMAP acceptance target is a 10k-node grid in seconds.
+type eigenSparseSpectral struct {
+	N        int     `json:"n"`
+	WallMs   float64 `json:"spectral_wall_ms"`
+	Clusters int     `json:"clusters"`
+}
+
+// eigenSparseSparsify records the sparsification pre-pass on an
+// over-dense geometric affinity: edge counts before/after and the k=8
+// solve time on each.
+type eigenSparseSparsify struct {
+	N                 int     `json:"n"`
+	NNZ               int     `json:"nnz"`
+	NNZSparsified     int     `json:"nnz_sparsified"`
+	SolveMs           float64 `json:"solve_ms"`
+	SolveSparsifiedMs float64 `json:"solve_sparsified_ms"`
+}
+
+// eigenSparseResult is the machine-readable BENCH_eigen_sparse.json
+// payload the Makefile's bench-eigen-sparse target tracks across
+// commits.
+type eigenSparseResult struct {
+	GoMaxProcs int                  `json:"gomaxprocs"`
+	Workers    int                  `json:"workers"`
+	K          int                  `json:"k"`
+	Tol        float64              `json:"tol"`
+	Ladder     []eigenSparseRow     `json:"ladder"`
+	Spectral   eigenSparseSpectral  `json:"spectral"`
+	Sparsify   *eigenSparseSparsify `json:"sparsify,omitempty"`
+}
+
+// eigenSparseGridLaplacian builds the normalized Laplacian of a
+// rows x cols grid with unit edges and unit self-loops — the affinity
+// shape the spectral baseline produces on a grid deployment.
+func eigenSparseGridLaplacian(rows, cols int) *linalg.CSR {
+	s := linalg.NewSparseSym(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := r*cols + c
+			s.Set(id, id, 1)
+			if c+1 < cols {
+				s.Set(id, id+1, 1)
+			}
+			if r+1 < rows {
+				s.Set(id, (r+1)*cols+c, 1)
+			}
+		}
+	}
+	return s.Finalize().NormalizedLaplacian()
+}
+
+// eigenSparseWorst extracts the worst per-vector residual, reaching into
+// a ConvergenceError when the solve ran out of iterations.
+func eigenSparseWorst(res *linalg.BottomKResult, err error) (float64, error) {
+	var ce *linalg.ConvergenceError
+	if err != nil && !errors.As(err, &ce) {
+		return 0, err
+	}
+	residuals := res.Residuals
+	if ce != nil {
+		residuals = ce.Residuals
+	}
+	worst := 0.0
+	for _, r := range residuals {
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst, nil
+}
+
+// eigenSparseLegacy times the pre-existing subspace-iteration solver on
+// the shifted operator 2I - L (same eigenvectors, top-k order) and
+// reports its true worst residual against L's spectrum.
+func eigenSparseLegacy(l *linalg.CSR, seed int64) (float64, float64, error) {
+	n := l.N
+	shifted := linalg.NewSparseSym(n)
+	for i := 0; i < n; i++ {
+		for idx := l.RowPtr[i]; idx < l.RowPtr[i+1]; idx++ {
+			j := int(l.ColIdx[idx])
+			if j < i {
+				continue
+			}
+			v := -l.Vals[idx]
+			if j == i {
+				v += 2
+			}
+			if v != 0 {
+				shifted.Set(i, j, v)
+			}
+		}
+	}
+	start := time.Now()
+	vals, vecs, err := shifted.EigenTopK(eigenSparseK, detrand.New(seed))
+	elapsed := time.Since(start)
+	if err != nil && !errors.Is(err, linalg.ErrNoConvergence) {
+		return 0, 0, err
+	}
+	// Residual of each Ritz pair under the shifted operator, computed
+	// directly so converged and iteration-capped runs report on the same
+	// scale as the LOBPCG column.
+	worst := 0.0
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for c := range vals {
+		for r := 0; r < n; r++ {
+			x[r] = vecs.At(r, c)
+		}
+		shifted.MulVec(x, y)
+		for r := 0; r < n; r++ {
+			if d := y[r] - vals[c]*x[r]; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+	}
+	return float64(elapsed.Microseconds()) / 1000, worst, nil
+}
+
+// EigenSparseBench measures the sparse spectral engine: a LOBPCG ladder
+// over grid Laplacians (up to n=20000 at paper scale), the legacy
+// subspace-iteration solver for comparison at small sizes, the
+// sparsification pre-pass on an over-dense geometric affinity, and the
+// end-to-end spectral baseline on a 10k-node grid (the ROADMAP
+// "seconds, not minutes" acceptance target).
+func EigenSparseBench(sc Scale) (*Table, error) { return EigenSparseBenchTo(sc, nil) }
+
+// EigenSparseBenchTo is EigenSparseBench with an optional writer
+// receiving the results as JSON (nil skips the dump).
+func EigenSparseBenchTo(sc Scale, dump io.Writer) (*Table, error) {
+	// Quick scale keeps the ladder small enough for test runs; paper
+	// scale is the committed BENCH_eigen_sparse.json shape.
+	paperScale := sc.DVNodes >= 1000
+	ladder := [][2]int{{20, 25}, {40, 50}}
+	spectralGrid := [2]int{30, 40}
+	if paperScale {
+		ladder = [][2]int{{50, 50}, {100, 100}, {100, 200}}
+		spectralGrid = [2]int{100, 100}
+	}
+
+	res := eigenSparseResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Workers:    par.Workers(),
+		K:          eigenSparseK,
+		Tol:        eigenSparseTol,
+	}
+	t := &Table{
+		Title:   "Eigensparse: LOBPCG bottom-k ladder vs legacy subspace iteration (wall ms)",
+		XLabel:  "n",
+		Columns: []string{"nnz", "lobpcg-ms", "iters", "worst-residual", "legacy-ms"},
+	}
+
+	for _, sz := range ladder {
+		l := eigenSparseGridLaplacian(sz[0], sz[1])
+		rng := detrand.New(sc.Seed + int64(l.N))
+		start := time.Now()
+		solved, err := l.EigenBottomK(eigenSparseK, rng, linalg.BottomKOptions{Tol: eigenSparseTol})
+		elapsed := time.Since(start)
+		worst, err := eigenSparseWorst(solved, err)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: eigensparse n=%d: %w", l.N, err)
+		}
+		row := eigenSparseRow{
+			N:             l.N,
+			NNZ:           l.NNZ(),
+			LobpcgMs:      float64(elapsed.Microseconds()) / 1000,
+			Iters:         solved.Iters,
+			WorstResidual: worst,
+		}
+		if l.N <= eigenSparseLegacyMaxN {
+			ms, legacyWorst, err := eigenSparseLegacy(l, sc.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: eigensparse legacy n=%d: %w", l.N, err)
+			}
+			row.LegacyMs, row.LegacyResidual = ms, legacyWorst
+		}
+		res.Ladder = append(res.Ladder, row)
+		t.AddRow(float64(row.N), float64(row.NNZ), row.LobpcgMs, float64(row.Iters), row.WorstResidual, row.LegacyMs)
+	}
+
+	// Sparsification pre-pass arm: an over-dense geometric affinity
+	// (average degree ~40) thinned to the baseline's default target.
+	if paperScale {
+		rng := detrand.New(sc.Seed + 7)
+		g := topology.RandomGeometricForDegree(4000, 40, rng)
+		aff := linalg.NewSparseSym(g.N())
+		for u := 0; u < g.N(); u++ {
+			aff.Set(u, u, 1)
+			for _, v := range g.Neighbors(topology.NodeID(u)) {
+				if int(v) > u {
+					aff.Set(u, int(v), 1)
+				}
+			}
+		}
+		full := aff.Finalize()
+		thin := linalg.Sparsify(full, 16, rng)
+		solveMs := func(c *linalg.CSR) (float64, error) {
+			start := time.Now()
+			solved, err := c.NormalizedLaplacian().EigenBottomK(eigenSparseK, detrand.New(sc.Seed), linalg.BottomKOptions{Tol: eigenSparseTol})
+			elapsed := time.Since(start)
+			if _, err := eigenSparseWorst(solved, err); err != nil {
+				return 0, err
+			}
+			return float64(elapsed.Microseconds()) / 1000, nil
+		}
+		fullMs, err := solveMs(full)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: eigensparse sparsify full: %w", err)
+		}
+		thinMs, err := solveMs(thin)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: eigensparse sparsify thin: %w", err)
+		}
+		res.Sparsify = &eigenSparseSparsify{
+			N:                 g.N(),
+			NNZ:               full.NNZ(),
+			NNZSparsified:     thin.NNZ(),
+			SolveMs:           fullMs,
+			SolveSparsifiedMs: thinMs,
+		}
+	}
+
+	// End-to-end arm: the full spectral baseline (sparse engine, banded
+	// features) on a grid deployment.
+	{
+		rows, cols := spectralGrid[0], spectralGrid[1]
+		g := topology.NewGrid(rows, cols)
+		feats := make([]metric.Feature, g.N())
+		for u := range feats {
+			band := (u % cols) * 8 / cols
+			feats[u] = metric.Feature{float64(band) * 10}
+		}
+		start := time.Now()
+		out, err := baseline.Spectral(g, baseline.SpectralConfig{
+			Delta:    2,
+			Metric:   metric.Scalar{},
+			Features: feats,
+			Seed:     sc.Seed,
+			MaxK:     32,
+		})
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: eigensparse spectral arm: %w", err)
+		}
+		res.Spectral = eigenSparseSpectral{
+			N:        g.N(),
+			WallMs:   float64(elapsed.Microseconds()) / 1000,
+			Clusters: out.Clustering.NumClusters(),
+		}
+	}
+
+	t.Notes = []string{
+		sc.note(),
+		fmt.Sprintf("k=%d, tol=%g (the spectral baseline's sparse-path configuration); legacy arm capped at n<=%d",
+			eigenSparseK, eigenSparseTol, eigenSparseLegacyMaxN),
+		fmt.Sprintf("end-to-end spectral baseline on %d-node grid: %.0f ms, %d clusters",
+			res.Spectral.N, res.Spectral.WallMs, res.Spectral.Clusters),
+	}
+	if res.Sparsify != nil {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"sparsify pre-pass at n=%d: nnz %d -> %d, solve %.0f ms -> %.0f ms",
+			res.Sparsify.N, res.Sparsify.NNZ, res.Sparsify.NNZSparsified,
+			res.Sparsify.SolveMs, res.Sparsify.SolveSparsifiedMs))
+	}
+
+	if dump != nil {
+		enc := json.NewEncoder(dump)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			return nil, fmt.Errorf("experiments: dump eigensparse bench: %w", err)
+		}
+	}
+	return t, nil
+}

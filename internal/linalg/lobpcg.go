@@ -1,0 +1,359 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"elink/internal/par"
+)
+
+// ErrNoConvergence reports that an iterative eigensolver exhausted its
+// iteration budget with at least one requested pair above tolerance.
+// Solvers return their best-effort result alongside the error (a
+// *ConvergenceError wrapping this sentinel, carrying the residuals), so
+// callers choose between failing hard and accepting a documented
+// tolerance — the silent-garbage fallthrough this sentinel replaced is
+// no longer possible.
+var ErrNoConvergence = errors.New("linalg: eigensolver did not converge")
+
+// ConvergenceError carries residual diagnostics for an unconverged
+// solve. It wraps ErrNoConvergence, so errors.Is(err, ErrNoConvergence)
+// selects it.
+type ConvergenceError struct {
+	// Residuals holds the 2-norm of A v - λ v for each requested pair.
+	Residuals []float64
+	// Tol is the relative tolerance the solve was run under.
+	Tol float64
+	// Iters is the number of iterations performed.
+	Iters int
+}
+
+func (e *ConvergenceError) Error() string {
+	worst := 0.0
+	for _, r := range e.Residuals {
+		if r > worst {
+			worst = r
+		}
+	}
+	return fmt.Sprintf("linalg: eigensolver did not converge after %d iterations (worst residual %.3g, tol %.3g)",
+		e.Iters, worst, e.Tol)
+}
+
+func (e *ConvergenceError) Unwrap() error { return ErrNoConvergence }
+
+// BottomKOptions tunes EigenBottomK. The zero value uses the defaults.
+type BottomKOptions struct {
+	// MaxIter caps the LOBPCG iterations (0 = 500).
+	MaxIter int
+	// Tol is the relative residual tolerance: pair i is converged when
+	// ||L v - λ v||₂ <= Tol * (|λ| + 1). 0 = 1e-6.
+	Tol float64
+	// Block overrides the iteration block size (0 = k+8, clamped so the
+	// Rayleigh–Ritz subspace stays small relative to n).
+	Block int
+}
+
+// BottomKResult is a bottom-k eigensolve outcome. It is returned even
+// when the solve fails to converge, so residual diagnostics survive.
+type BottomKResult struct {
+	// Values are the k smallest eigenvalues, ascending.
+	Values []float64
+	// Vectors holds the matching eigenvectors as columns (n x k).
+	Vectors *Matrix
+	// Residuals are the 2-norms ||L v - λ v||₂ per returned pair.
+	Residuals []float64
+	// Iters is the number of LOBPCG iterations performed (0 for the
+	// dense fallback).
+	Iters int
+}
+
+// denseBottomKLimit is the size up to which a rank-deficient block (k
+// too large relative to n) falls back to one dense Jacobi decomposition
+// instead of failing; beyond it the densification would defeat the
+// sparse engine's purpose, so the solve errors instead.
+const denseBottomKLimit = 2048
+
+// EigenBottomK computes the k smallest-eigenvalue eigenpairs of the
+// symmetric matrix using LOBPCG (locally optimal block preconditioned
+// conjugate gradient, unpreconditioned) with full reorthogonalization of
+// the Rayleigh–Ritz basis every iteration. Eigenvalues come back
+// ascending; for a normalized graph Laplacian the returned vectors are
+// the NJW spectral embedding, and a zero eigenvalue of multiplicity m
+// (one per connected component) is resolved exactly as long as the block
+// is at least m wide — the block carries k+8 vectors by default.
+//
+// Determinism: every arithmetic reduction (dot products, Gram–Schmidt,
+// the projected dense eigensolve) runs in a fixed serial order; only
+// independent per-column and per-row computations fan out over
+// internal/par, writing caller-owned slots. Results are therefore
+// bitwise identical for every worker count, and depend only on the
+// matrix and the supplied generator.
+//
+// On iteration-budget exhaustion the best-effort result is returned
+// together with a *ConvergenceError (wrapping ErrNoConvergence) carrying
+// the per-pair residuals — never silently.
+func (c *CSR) EigenBottomK(k int, rng *rand.Rand, opt BottomKOptions) (*BottomKResult, error) {
+	n := c.N
+	if k <= 0 {
+		return nil, fmt.Errorf("linalg: EigenBottomK requires k >= 1, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	maxIter := opt.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+	tol := opt.Tol
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	b := opt.Block
+	if b <= 0 {
+		b = k + 8
+	}
+	if b > (n-1)/3 {
+		b = (n - 1) / 3 // keep the 3b-wide Rayleigh–Ritz basis well under n
+	}
+	if n <= 64 || b <= k {
+		if n > denseBottomKLimit {
+			return nil, fmt.Errorf("linalg: EigenBottomK: k=%d too large for sparse solve at n=%d (would densify)", k, n)
+		}
+		return c.denseBottomK(k)
+	}
+
+	// Random orthonormal starting block, drawn column by column in a
+	// fixed order so the start depends only on the generator state.
+	x := make([][]float64, b)
+	for j := range x {
+		x[j] = make([]float64, n)
+		for r := range x[j] {
+			x[j][r] = rng.NormFloat64()
+		}
+	}
+	orthonormalize(x)
+
+	ax := newBlock(b, n)
+	lam := make([]float64, b)
+	res := make([]float64, b)
+	scratch := newBlock(b, n) // residual block, reused every iteration
+	var p [][]float64         // previous search directions (nil on iteration 1)
+
+	mulBlock(c, x, ax)
+	finish := func(iters int) (*BottomKResult, error) {
+		out := &BottomKResult{
+			Values:    append([]float64(nil), lam[:k]...),
+			Residuals: append([]float64(nil), res[:k]...),
+			Iters:     iters,
+			Vectors:   NewMatrix(n, k),
+		}
+		for j := 0; j < k; j++ {
+			for r := 0; r < n; r++ {
+				out.Vectors.Set(r, j, x[j][r])
+			}
+		}
+		for j := 0; j < k; j++ {
+			if res[j] > tol*(math.Abs(lam[j])+1) {
+				return out, &ConvergenceError{Residuals: out.Residuals, Tol: tol, Iters: iters}
+			}
+		}
+		return out, nil
+	}
+
+	for iter := 1; iter <= maxIter; iter++ {
+		// Rayleigh quotients and residual blocks on the current
+		// orthonormal X. Columns are independent: each fans out with its
+		// own serial arithmetic.
+		w := scratch
+		par.For(b, func(j int) {
+			lam[j] = dot(x[j], ax[j])
+			var rr float64
+			for r := 0; r < n; r++ {
+				d := ax[j][r] - lam[j]*x[j][r]
+				w[j][r] = d
+				rr += d * d
+			}
+			res[j] = math.Sqrt(rr)
+		})
+		done := true
+		for j := 0; j < k; j++ {
+			if res[j] > tol*(math.Abs(lam[j])+1) {
+				done = false
+				break
+			}
+		}
+		if done {
+			return finish(iter)
+		}
+		if iter == maxIter {
+			break
+		}
+
+		// Rayleigh–Ritz basis S = [X | W | P], fully reorthogonalized by
+		// modified Gram–Schmidt; collapsed directions are dropped (the
+		// span is what matters, and dropping is deterministic).
+		s := make([][]float64, 0, 3*b)
+		s = append(s, x...)
+		s = append(s, w...)
+		if p != nil {
+			s = append(s, p...)
+		}
+		s = orthonormalizeDrop(s, b)
+		m := len(s)
+
+		as := newBlock(m, n)
+		mulBlock(c, s, as)
+		// T = Sᵀ (L S): row i writes (i, j>=i) and mirrors — disjoint
+		// across i, serial within a row.
+		t := NewMatrix(m, m)
+		par.For(m, func(i int) {
+			for j := i; j < m; j++ {
+				v := dot(s[i], as[j])
+				t.Set(i, j, v)
+				t.Set(j, i, v)
+			}
+		})
+		// Ritz values are recomputed as Rayleigh quotients at the top of
+		// the next iteration, so only the rotation matters here.
+		_, tvec, err := EigenSym(t)
+		if err != nil {
+			return nil, err
+		}
+		// Smallest-b Ritz pairs: EigenSym sorts descending, so they are
+		// the trailing columns; reorder ascending.
+		nx := newBlock(b, n)
+		par.For(b, func(j int) {
+			col := m - 1 - j
+			dst := nx[j]
+			for i := 0; i < m; i++ {
+				f := tvec.At(i, col)
+				if f == 0 {
+					continue
+				}
+				src := s[i]
+				for r := 0; r < n; r++ {
+					dst[r] += f * src[r]
+				}
+			}
+		})
+		// Conjugate directions: the component of the new block that is
+		// orthogonal to the old one, P = X' - X (Xᵀ X').
+		np := newBlock(b, n)
+		par.For(b, func(j int) {
+			copy(np[j], nx[j])
+			for i := 0; i < b; i++ {
+				f := dot(x[i], nx[j])
+				if f == 0 {
+					continue
+				}
+				src := x[i]
+				dst := np[j]
+				for r := 0; r < n; r++ {
+					dst[r] -= f * src[r]
+				}
+			}
+		})
+		p = orthonormalizeDrop(np, 0)
+		if len(p) == 0 {
+			p = nil
+		}
+		x = nx
+		orthonormalize(x)
+		mulBlock(c, x, ax)
+	}
+
+	// Budget exhausted: lam/res were refreshed for the final block at the
+	// top of the last iteration; order the pairs and report
+	// non-convergence with the residual diagnostics attached.
+	sortPairsAscending(x, lam, res, b)
+	return finish(maxIter)
+}
+
+// denseBottomK is the small-size fallback: one dense Jacobi
+// decomposition, returning the trailing (smallest) k pairs ascending.
+func (c *CSR) denseBottomK(k int) (*BottomKResult, error) {
+	n := c.N
+	vals, vecs, err := EigenSym(c.Dense())
+	if err != nil {
+		return nil, err
+	}
+	out := &BottomKResult{
+		Values:    make([]float64, k),
+		Residuals: make([]float64, k),
+		Vectors:   NewMatrix(n, k),
+	}
+	for j := 0; j < k; j++ {
+		col := n - 1 - j
+		out.Values[j] = vals[col]
+		for r := 0; r < n; r++ {
+			out.Vectors.Set(r, j, vecs.At(r, col))
+		}
+	}
+	return out, nil
+}
+
+// mulBlock computes y[j] = C x[j] for every block column, fanning the
+// independent columns out over the execution layer.
+func mulBlock(c *CSR, x, y [][]float64) {
+	par.For(len(x), func(j int) {
+		c.MulVec(x[j], y[j])
+	})
+}
+
+func newBlock(cols, n int) [][]float64 {
+	b := make([][]float64, cols)
+	for j := range b {
+		b[j] = make([]float64, n)
+	}
+	return b
+}
+
+// orthonormalizeDrop runs modified Gram–Schmidt over the columns,
+// dropping any column whose remainder collapses below tolerance instead
+// of re-seeding it (the basis is allowed to shrink). The first keep
+// columns are never dropped (pass 0 to allow dropping everywhere); they
+// are assumed linearly independent, as the orthonormal X block is.
+func orthonormalizeDrop(q [][]float64, keep int) [][]float64 {
+	out := q[:0]
+	for c := 0; c < len(q); c++ {
+		col := q[c]
+		for _, prev := range out {
+			f := dot(prev, col)
+			if f == 0 {
+				continue
+			}
+			for r := range col {
+				col[r] -= f * prev[r]
+			}
+		}
+		norm := math.Sqrt(dot(col, col))
+		if norm < 1e-10 && len(out) >= keep {
+			continue
+		}
+		if norm == 0 {
+			norm = 1
+		}
+		inv := 1 / norm
+		for r := range col {
+			col[r] *= inv
+		}
+		out = append(out, col)
+	}
+	return out
+}
+
+// sortPairsAscending orders the first b (vector, value, residual)
+// triples by ascending eigenvalue with a stable insertion sort, so the
+// unconverged-exit path reports pairs in the same order a converged exit
+// would.
+func sortPairsAscending(x [][]float64, lam, res []float64, b int) {
+	for i := 1; i < b; i++ {
+		for j := i; j > 0 && lam[j] < lam[j-1]; j-- {
+			lam[j], lam[j-1] = lam[j-1], lam[j]
+			res[j], res[j-1] = res[j-1], res[j]
+			x[j], x[j-1] = x[j-1], x[j]
+		}
+	}
+}

@@ -22,7 +22,9 @@ func NewSparseSym(n int) *SparseSym {
 }
 
 // Set stores value v at (i, j) and (j, i). Duplicate sets accumulate, so
-// callers should set each pair once.
+// callers should set each pair once; FinalizeStrict rejects builders
+// that set a position twice, and Finalize merges duplicates explicitly
+// while converting to the CSR form the sparse spectral engine consumes.
 func (s *SparseSym) Set(i, j int, v float64) {
 	s.Cols[i] = append(s.Cols[i], int32(j))
 	s.Vals[i] = append(s.Vals[i], v)
@@ -77,6 +79,11 @@ func (s *SparseSym) Dense() *Matrix {
 // affinity graphs produce — are resolved correctly, which plain
 // single-vector Lanczos cannot do. For small matrices it simply
 // densifies and calls the Jacobi solver.
+//
+// If the iteration budget expires before every requested pair meets
+// tolerance, the best-effort Ritz pairs are returned together with a
+// *ConvergenceError (wrapping ErrNoConvergence) carrying the per-pair
+// residuals — never silently.
 func (s *SparseSym) EigenTopK(k int, rng *rand.Rand) ([]float64, *Matrix, error) {
 	n := s.N
 	if k <= 0 {
@@ -183,7 +190,7 @@ func (s *SparseSym) EigenTopK(k int, rng *rand.Rand) ([]float64, *Matrix, error)
 			// Convergence: residual of the k leading Ritz pairs, one
 			// scratch vector per column so they fan out safely.
 			vals = make([]float64, k)
-			unconverged := make([]bool, k)
+			residuals := make([]float64, k)
 			par.For(k, func(c int) {
 				y := make([]float64, n)
 				s.MulVec(q[c], y)
@@ -194,13 +201,11 @@ func (s *SparseSym) EigenTopK(k int, rng *rand.Rand) ([]float64, *Matrix, error)
 					d := y[r] - lambda*q[c][r]
 					res += d * d
 				}
-				if math.Sqrt(res) > tol*(math.Abs(lambda)+1) {
-					unconverged[c] = true
-				}
+				residuals[c] = math.Sqrt(res)
 			})
 			converged := true
-			for _, u := range unconverged {
-				if u {
+			for c, r := range residuals {
+				if r > tol*(math.Abs(vals[c])+1) {
 					converged = false
 				}
 			}
@@ -210,6 +215,13 @@ func (s *SparseSym) EigenTopK(k int, rng *rand.Rand) ([]float64, *Matrix, error)
 					for r := 0; r < n; r++ {
 						ritz.Set(r, c, q[c][r])
 					}
+				}
+				if !converged {
+					// Surface the iteration-budget expiry instead of the
+					// old silent fallthrough: the best-effort Ritz pairs
+					// are still returned, with their residuals attached,
+					// so the caller decides whether they are usable.
+					return vals, ritz, &ConvergenceError{Residuals: residuals, Tol: tol, Iters: maxIter}
 				}
 				return vals, ritz, nil
 			}

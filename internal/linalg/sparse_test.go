@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -130,6 +131,44 @@ func TestSparseTopKRejectsBadK(t *testing.T) {
 	s := NewSparseSym(3)
 	if _, _, err := s.EigenTopK(0, rand.New(rand.NewSource(1))); err == nil {
 		t.Error("k=0 accepted")
+	}
+}
+
+// TestSparseTopKSurfacesNonConvergence pins the bugfix for the silent
+// maxIter fallthrough: a near-multiple spectrum whose leading eigenvalues
+// are separated by ~1e-4 converges far too slowly for the iteration
+// budget once the Gershgorin shift flattens the ratios, and the solver
+// used to return the unconverged Ritz pairs as if they were fine. Now it
+// must return them alongside a ConvergenceError carrying the residuals.
+func TestSparseTopKSurfacesNonConvergence(t *testing.T) {
+	// Diagonal matrix with 100 eigenvalues packed into [1 - 1e-2, 1]:
+	// after the shift (=1) the per-iteration contraction toward the
+	// leading pair is ~(2-9e-4)/2, which cannot reach tol=1e-8 within
+	// the 400-iteration budget.
+	n := 100
+	s := NewSparseSym(n)
+	for i := 0; i < n; i++ {
+		s.Set(i, i, 1-float64(i)*1e-4)
+	}
+	rng := rand.New(rand.NewSource(8))
+	vals, vecs, err := s.EigenTopK(1, rng)
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatalf("unconverged solve returned err = %v, want ErrNoConvergence", err)
+	}
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T does not unwrap to *ConvergenceError", err)
+	}
+	if len(ce.Residuals) != 1 || ce.Residuals[0] == 0 {
+		t.Errorf("residual diagnostics missing: %+v", ce.Residuals)
+	}
+	// The best-effort pair still comes back for callers that accept a
+	// documented tolerance.
+	if len(vals) != 1 || vecs == nil || vecs.Cols != 1 {
+		t.Fatalf("best-effort result missing: vals=%v vecs=%v", vals, vecs)
+	}
+	if vals[0] < 0.9 || vals[0] > 1.1 {
+		t.Errorf("best-effort eigenvalue %v wildly off the [0.99, 1] cluster", vals[0])
 	}
 }
 

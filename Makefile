@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check build vet lint fmt test race bench bench-obs bench-routes bench-parallel bench-persist bench-eigen-sparse bench-eigen-diff bench-spans bench-diff examples clean
+.PHONY: check build vet lint fmt test race bench bench-obs bench-routes bench-parallel bench-persist bench-eigen-sparse bench-eigen-diff bench-spans bench-diff bench-clean examples clean
 
 ## check: everything CI runs — build, vet, the invariant analyzers,
 ## gofmt cleanliness, tests, the race pass, then the routing,
-## parallel-layer, durability and sparse-eigensolver benches so perf
-## regressions on the hot paths are visible per commit (bench-persist
-## and bench-eigen-sparse write *.new.json scratch files; gate them with
-## bench-diff / bench-eigen-diff)
-check: build vet lint fmt test race bench-routes bench-parallel bench-persist bench-eigen-sparse
+## parallel-layer and durability benches plus the gated sparse-eigensolver
+## bench (bench-eigen-diff regenerates BENCH_eigen_sparse.new.json and
+## fails on any tracked latency/iteration regression against the
+## committed snapshot; bench-persist writes a *.new.json scratch file —
+## gate it with bench-diff)
+check: build vet lint fmt test race bench-routes bench-parallel bench-persist bench-eigen-diff
 
 build:
 	$(GO) build ./...
@@ -102,6 +103,12 @@ BENCH_REGEN ?= $(GO) run ./cmd/elink-experiments -only persistbench -persist-out
 bench-diff:
 	$(BENCH_REGEN)
 	$(GO) run ./cmd/elink-benchdiff -tol $(BENCH_TOL) $(BENCH_OLD) $(BENCH_NEW)
+
+## bench-clean: sweep the gitignored *.new.json scratch files the gated
+## bench targets leave behind (committed BENCH_*.json baselines are
+## untouched)
+bench-clean:
+	rm -f BENCH_*.new.json
 
 ## examples: compile every example without running them
 examples:

@@ -88,16 +88,19 @@ const (
 
 // knownContext names the numeric fields that are deliberately
 // informational: run shape (sizes, repetition counts, worker counts) and
-// deterministic outputs (iteration counts, edge counts, cluster counts)
-// that the gate compares but never fails on. A numeric leaf that neither
-// matches a direction suffix nor appears here is reported as
-// unclassified so new schema fields cannot silently land ungated.
+// deterministic outputs (edge counts, cluster counts, warm-start depth)
+// that the gate compares but never fails on. Iteration counts are NOT
+// context — they classify lowerBetter, so a solver that starts needing
+// more iterations fails the gate even when wall-clock noise hides it. A
+// numeric leaf that neither matches a direction suffix nor appears here
+// is reported as unclassified so new schema fields cannot silently land
+// ungated.
 var knownContext = map[string]bool{
 	"n": true, "nodes": true, "reps": true, "workers": true,
 	"gomaxprocs": true, "sweeps": true, "epochs": true, "traces": true,
-	"count": true, "iters": true, "k": true, "tol": true, "seed": true,
+	"count": true, "k": true, "tol": true, "seed": true,
 	"clusters": true, "nnz": true, "nnz_sparsified": true,
-	"messages_routed": true,
+	"messages_routed": true, "coarse_levels": true,
 }
 
 // classify returns a metric path's direction plus whether the final
@@ -117,6 +120,11 @@ func classify(path string) (direction, bool) {
 		strings.HasSuffix(field, "_per_node") || strings.HasSuffix(field, "_pct") ||
 		strings.HasSuffix(field, "_mb") || strings.HasSuffix(field, "_s") ||
 		strings.Contains(field, "residual"):
+		return lowerBetter, true
+	case field == "iters" || strings.HasSuffix(field, "_iters"):
+		// Iteration counts are deterministic solver outputs, not noisy
+		// wall-clock: a rise means the solve got algorithmically worse
+		// (preconditioner or warm-start regression), so they gate.
 		return lowerBetter, true
 	}
 	return context, knownContext[field]

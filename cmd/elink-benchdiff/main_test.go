@@ -115,7 +115,11 @@ func TestClassify(t *testing.T) {
 		"gomaxprocs":                            context,
 		"workers":                               context,
 		"rows[n=500].messages_routed":           context,
-		"ladder[n=2500].iters":                  context,
+		"ladder[n=2500].iters":                  lowerBetter,
+		"ladder[n=2500].unprecond_iters":        lowerBetter,
+		"ladder[n=2500].unprecond_ms":           lowerBetter,
+		"ladder[n=2500].speedup":                higherBetter,
+		"ladder[n=2500].coarse_levels":          context,
 		"ladder[n=2500].nnz":                    context,
 		"sparsify.nnz_sparsified":               context,
 		"spectral.clusters":                     context,
@@ -156,10 +160,28 @@ func TestDiffWarnsOnUnclassified(t *testing.T) {
 	// warning for the fields the suites actually emit.
 	clean := parse(t, `{"gomaxprocs":1,"workers":1,"k":8,"tol":0.0002,"ladder":[
 		{"n":2500,"nnz":12300,"lobpcg_ms":950,"iters":55,"worst_residual":0.0002,
-		 "legacy_ms":380,"legacy_residual":0.0004}],
+		 "precond":"chebyshev","coarse_levels":4,"unprecond_ms":4300,"unprecond_iters":55,
+		 "speedup":4.5,"legacy_ms":380,"legacy_residual":0.0004}],
 		"spectral":{"n":10000,"spectral_wall_ms":19000,"clusters":8},
 		"sparsify":{"n":4000,"nnz":156824,"nnz_sparsified":67998,"solve_ms":883,"solve_sparsified_ms":841}}`)
 	if rep := diff(clean, clean, 10); len(rep.unclassified) != 0 {
 		t.Fatalf("BENCH_eigen_sparse schema has unclassified fields: %v", rep.unclassified)
+	}
+}
+
+// TestDiffItersGate: iteration counts are deterministic solver outputs —
+// a rise beyond tolerance fails the gate even when wall-clock is flat.
+func TestDiffItersGate(t *testing.T) {
+	oldDoc := parse(t, `{"ladder":[{"n":2500,"lobpcg_ms":950,"iters":10,"coarse_levels":4}]}`)
+	newDoc := parse(t, `{"ladder":[{"n":2500,"lobpcg_ms":955,"iters":20,"coarse_levels":6}]}`)
+	rep := diff(oldDoc, newDoc, 25)
+	if len(rep.regressions) != 1 || rep.regressions[0] != "ladder[n=2500].iters" {
+		t.Fatalf("regressions = %v, want only ladder[n=2500].iters", rep.regressions)
+	}
+	// Fewer iterations is an improvement, never a regression; warm-start
+	// depth (coarse_levels) is context either way.
+	better := parse(t, `{"ladder":[{"n":2500,"lobpcg_ms":950,"iters":5,"coarse_levels":2}]}`)
+	if rep := diff(oldDoc, better, 25); len(rep.regressions) != 0 {
+		t.Fatalf("iteration drop flagged: %v", rep.regressions)
 	}
 }

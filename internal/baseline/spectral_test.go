@@ -1,10 +1,12 @@
 package baseline
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
 	"elink/internal/cluster"
+	"elink/internal/linalg"
 	"elink/internal/metric"
 	"elink/internal/topology"
 )
@@ -64,6 +66,105 @@ func TestSpectralSearchExploresAboveEmbeddingCap(t *testing.T) {
 	}
 	if !sawAboveCap {
 		t.Fatalf("search never explored above the embedding cap: ks=%v", ks)
+	}
+}
+
+// TestChooseEigenSolver pins the solver decision table: dense up to the
+// figure-compat limit, LOBPCG everywhere above it, and subspace iteration
+// only as the escape hatch for blocks too wide for LOBPCG's 3(k+8)-vector
+// Rayleigh–Ritz basis.
+func TestChooseEigenSolver(t *testing.T) {
+	cases := []struct {
+		name   string
+		n, nnz int
+		k      int
+		want   eigenSolverKind
+	}{
+		{"tiny dense", 50, 250, 8, eigenSolverDense},
+		{"at the dense limit", 700, 3394, 8, eigenSolverDense},
+		{"just above dense", 701, 3400, 8, eigenSolverLOBPCG},
+		{"mid ladder", 2500, 12300, 8, eigenSolverLOBPCG},
+		{"engine scale", 20000, 99400, 16, eigenSolverLOBPCG},
+		// k+8 > (n-1)/3: the 3(k+8)-wide basis would not fit, so the
+		// legacy blocked subspace iteration takes over.
+		{"block too wide", 800, 4000, 300, eigenSolverSubspace},
+		{"block fits again", 3000, 15000, 300, eigenSolverLOBPCG},
+	}
+	for _, tc := range cases {
+		if got := chooseEigenSolver(tc.n, tc.nnz, tc.k); got != tc.want {
+			t.Errorf("%s: chooseEigenSolver(%d, %d, %d) = %v, want %v",
+				tc.name, tc.n, tc.nnz, tc.k, got, tc.want)
+		}
+	}
+	// The limit is a test seam: lowering it moves the dense/LOBPCG
+	// boundary with it.
+	saved := denseEigenLimit
+	denseEigenLimit = 50
+	defer func() { denseEigenLimit = saved }()
+	if got := chooseEigenSolver(200, 1000, 8); got != eigenSolverLOBPCG {
+		t.Errorf("lowered limit: chooseEigenSolver(200, ...) = %v, want LOBPCG", got)
+	}
+}
+
+// TestEigenCacheSubspaceBranch drives the subspace escape hatch directly:
+// the region is unreachable through SpectralConfig (sparseEmbedCap keeps
+// k small), so the cache is constructed by hand and its embedding checked
+// against the LOBPCG kind on the same Laplacian.
+func TestEigenCacheSubspaceBranch(t *testing.T) {
+	g := topology.NewGrid(12, 18)
+	rng := rand.New(rand.NewSource(5))
+	feats := bandedFeatures(g, 3, 10, rng)
+	n := g.N()
+	aff := linalg.NewSparseSym(n)
+	m := metric.Scalar{}
+	for u := 0; u < n; u++ {
+		aff.Set(u, u, 1)
+		for _, v := range g.Neighbors(topology.NodeID(u)) {
+			if int(v) <= u {
+				continue
+			}
+			d := m.Distance(feats[u], feats[int(v)])
+			aff.Set(u, int(v), math.Exp(-d*d/2))
+		}
+	}
+	csr, err := aff.FinalizeStrict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lap := csr.NormalizedLaplacian()
+
+	const dim = 6
+	embed := func(kind eigenSolverKind) *linalg.Matrix {
+		e := &eigenCache{kind: kind, lap: lap, maxDim: dim, rng: rand.New(rand.NewSource(3))}
+		vecs, err := e.topK(dim)
+		if err != nil {
+			t.Fatalf("kind %v: %v", kind, err)
+		}
+		return vecs
+	}
+	sub := embed(eigenSolverSubspace)
+	lob := embed(eigenSolverLOBPCG)
+	if sub.Rows != n || sub.Cols != dim {
+		t.Fatalf("subspace embedding is %dx%d, want %dx%d", sub.Rows, sub.Cols, n, dim)
+	}
+	// The two engines may rotate within eigenspaces and flip signs, so
+	// compare the subspaces: every subspace-path column must lie in the
+	// span of the LOBPCG columns (projection mass ~ 1).
+	for c := 0; c < dim; c++ {
+		var mass, norm float64
+		for r := 0; r < n; r++ {
+			norm += sub.At(r, c) * sub.At(r, c)
+		}
+		for cc := 0; cc < dim; cc++ {
+			var d float64
+			for r := 0; r < n; r++ {
+				d += sub.At(r, c) * lob.At(r, cc)
+			}
+			mass += d * d
+		}
+		if mass < 0.98*norm {
+			t.Errorf("subspace column %d has only %.3f of its mass in the LOBPCG span", c, mass/norm)
+		}
 	}
 }
 

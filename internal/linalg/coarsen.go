@@ -1,0 +1,146 @@
+package linalg
+
+import (
+	"math"
+	"sort"
+)
+
+// coarseLevel is one level of the warm-start hierarchy: the Galerkin
+// coarse operator Lc = Pᵀ L P for the aggregation prolongator P built
+// from a heavy-edge matching, plus the fine→coarse vertex map needed to
+// prolong coarse eigenvectors back to the fine grid. P has one column
+// per aggregate with value 1/√|aggregate| at each member row, so its
+// columns are orthonormal and the coarse problem stays a standard
+// symmetric eigenproblem.
+type coarseLevel struct {
+	op     *CSR
+	coarse []int     // fine vertex -> aggregate index
+	scale  []float64 // per-aggregate 1/sqrt(size) (the P column value)
+}
+
+// heavyEdgeMatch computes a deterministic greedy matching: vertices are
+// visited in ascending order, each unmatched vertex pairs with its
+// largest-|weight| unmatched neighbor, and ties break to the first such
+// neighbor in the row's sorted column order. The result depends only on
+// the matrix, never on worker count or iteration order of any map.
+func heavyEdgeMatch(c *CSR) []int {
+	match := make([]int, c.N)
+	for i := range match {
+		match[i] = -1
+	}
+	for i := 0; i < c.N; i++ {
+		if match[i] >= 0 {
+			continue
+		}
+		best, bestW := -1, 0.0
+		lo, hi := c.RowPtr[i], c.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			j := int(c.ColIdx[k])
+			if j == i || match[j] >= 0 {
+				continue
+			}
+			if w := math.Abs(c.Vals[k]); w > bestW {
+				best, bestW = j, w
+			}
+		}
+		if best >= 0 {
+			match[i], match[best] = best, i
+		} else {
+			match[i] = i
+		}
+	}
+	return match
+}
+
+// coarsen builds one level: aggregates from heavyEdgeMatch (numbered in
+// ascending first-member order) and the Galerkin operator assembled row
+// by row with a marker/accumulator sweep, coarse columns emitted in
+// sorted order. Everything is serial and order-fixed, so coarse
+// operators are identical across runs and worker counts.
+func coarsen(c *CSR) *coarseLevel {
+	match := heavyEdgeMatch(c)
+	coarse := make([]int, c.N)
+	for i := range coarse {
+		coarse[i] = -1
+	}
+	nc := 0
+	for i := 0; i < c.N; i++ {
+		if coarse[i] >= 0 {
+			continue
+		}
+		coarse[i] = nc
+		if match[i] != i {
+			coarse[match[i]] = nc
+		}
+		nc++
+	}
+	scale := make([]float64, nc)
+	size := make([]int, nc)
+	for _, ci := range coarse {
+		size[ci]++
+	}
+	for ci, s := range size {
+		scale[ci] = 1 / math.Sqrt(float64(s))
+	}
+
+	// members[start[ci]:start[ci+1]] lists aggregate ci's fine vertices in
+	// ascending order (counting sort over the fine index order).
+	start := make([]int, nc+1)
+	for _, ci := range coarse {
+		start[ci+1]++
+	}
+	for ci := 0; ci < nc; ci++ {
+		start[ci+1] += start[ci]
+	}
+	members := make([]int, c.N)
+	fill := make([]int, nc)
+	copy(fill, start[:nc])
+	for i, ci := range coarse {
+		members[fill[ci]] = i
+		fill[ci]++
+	}
+
+	op := &CSR{N: nc, RowPtr: make([]int, nc+1)}
+	marker := make([]int, nc)
+	for i := range marker {
+		marker[i] = -1
+	}
+	acc := make([]float64, nc)
+	var touched []int
+	for ci := 0; ci < nc; ci++ {
+		touched = touched[:0]
+		for _, i := range members[start[ci]:start[ci+1]] {
+			si := scale[ci]
+			for k := c.RowPtr[i]; k < c.RowPtr[i+1]; k++ {
+				cj := coarse[int(c.ColIdx[k])]
+				if marker[cj] != ci {
+					marker[cj] = ci
+					acc[cj] = 0
+					touched = append(touched, cj)
+				}
+				acc[cj] += si * scale[cj] * c.Vals[k]
+			}
+		}
+		sort.Ints(touched)
+		for _, cj := range touched {
+			op.ColIdx = append(op.ColIdx, int32(cj))
+			op.Vals = append(op.Vals, acc[cj])
+		}
+		op.RowPtr[ci+1] = len(op.ColIdx)
+	}
+	return &coarseLevel{op: op, coarse: coarse, scale: scale}
+}
+
+// prolong lifts a coarse block to the fine grid: fine[j][i] =
+// coarse[j][agg(i)] · scale[agg(i)], i.e. multiplication by P. Because
+// P's columns are orthonormal, prolonged coarse eigenvectors arrive
+// already orthonormal (up to roundoff) as the warm-start block.
+func (l *coarseLevel) prolong(coarseVecs, fineVecs [][]float64) {
+	for j := range coarseVecs {
+		cv, fv := coarseVecs[j], fineVecs[j]
+		for i := range fv {
+			ci := l.coarse[i]
+			fv[i] = cv[ci] * l.scale[ci]
+		}
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"elink/internal/par"
 )
 
 func TestFinalizeSortsAndMergesDuplicates(t *testing.T) {
@@ -134,6 +136,72 @@ func TestNormalizedLaplacian(t *testing.T) {
 			if cols[k] <= cols[k-1] {
 				t.Fatalf("Laplacian row %d not strictly sorted: %v", i, cols)
 			}
+		}
+	}
+}
+
+func randomCSR(t *testing.T, n, edges int, seed int64) *CSR {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := NewSparseSym(n)
+	for e := 0; e < edges; e++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i > j {
+			i, j = j, i
+		}
+		s.Set(i, j, rng.NormFloat64())
+	}
+	return s.Finalize()
+}
+
+// TestMulVecsMatchesMulVec pins the fused kernel's contract: for every
+// block width (exercising the 4-wide unroll and each remainder path) and
+// every worker count, MulVecs is bitwise equal to per-column MulVec.
+func TestMulVecsMatchesMulVec(t *testing.T) {
+	c := randomCSR(t, 700, 2500, 19) // > mulVecsGrain: multiple row chunks
+	rng := rand.New(rand.NewSource(2))
+	for _, b := range []int{1, 2, 3, 4, 5, 7, 9} {
+		x := newBlock(b, c.N)
+		fillRandom(x, rng)
+		want := newBlock(b, c.N)
+		for j := 0; j < b; j++ {
+			c.MulVec(x[j], want[j])
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			par.SetWorkers(workers)
+			y := newBlock(b, c.N)
+			c.MulVecs(x, y)
+			par.SetWorkers(0)
+			for j := 0; j < b; j++ {
+				for i := 0; i < c.N; i++ {
+					if y[j][i] != want[j][i] {
+						t.Fatalf("b=%d workers=%d: y[%d][%d] = %v, MulVec gives %v (bit-equality broken)",
+							b, workers, j, i, y[j][i], want[j][i])
+					}
+				}
+			}
+		}
+	}
+	// Shape mismatch panics rather than corrupting.
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched block shapes did not panic")
+		}
+	}()
+	c.MulVecs(newBlock(2, c.N), newBlock(3, c.N))
+}
+
+// TestCSRDiag covers present, absent, and trailing diagonal positions.
+func TestCSRDiag(t *testing.T) {
+	s := NewSparseSym(4)
+	s.Set(0, 0, 2.5)
+	s.Set(1, 2, 1) // rows 1, 2: no diagonal stored
+	s.Set(3, 3, -4)
+	d := s.Finalize().Diag()
+	want := []float64{2.5, 0, 0, -4}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("Diag = %v, want %v", d, want)
 		}
 	}
 }

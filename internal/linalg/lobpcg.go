@@ -53,6 +53,15 @@ type BottomKOptions struct {
 	// Block overrides the iteration block size (0 = k+8, clamped so the
 	// Rayleigh–Ritz subspace stays small relative to n).
 	Block int
+	// Precond is applied to the residual block every iteration (nil =
+	// Jacobi, the inverse-diagonal default; IdentityPrecond{} disables
+	// preconditioning; NewChebyshev exploits the normalized Laplacian's
+	// known [0, 2] spectrum).
+	Precond Preconditioner
+	// RandomStart forces the seeded-random starting block, skipping the
+	// coarse-grid warm start (the benchmark's baseline arm, and the only
+	// mode where rng is consumed at the fine level).
+	RandomStart bool
 }
 
 // BottomKResult is a bottom-k eigensolve outcome. It is returned even
@@ -67,6 +76,9 @@ type BottomKResult struct {
 	// Iters is the number of LOBPCG iterations performed (0 for the
 	// dense fallback).
 	Iters int
+	// CoarseLevels is the depth of the coarse-grid warm-start hierarchy
+	// used to seed the block (0 = seeded-random start).
+	CoarseLevels int
 }
 
 // denseBottomKLimit is the size up to which a rank-deficient block (k
@@ -75,21 +87,47 @@ type BottomKResult struct {
 // sparse engine's purpose, so the solve errors instead.
 const denseBottomKLimit = 2048
 
+// coarseStartMinN is the size below which the warm start stops
+// recursing and draws the block from the seeded generator instead: at a
+// few hundred vertices a coarse level costs more in solve overhead than
+// the iterations it saves. A variable so tests can steer path selection.
+var coarseStartMinN = 600
+
+// Coarse-level solve budget: each hierarchy level refines its prolonged
+// block only far enough to seed the next-finer level (the fine solve
+// does the real converging), and a level whose matching stalls —
+// shrinking the graph by less than 1/8 — aborts the recursion rather
+// than stacking near-identical levels.
+const (
+	coarseWarmTol     = 1e-3
+	coarseWarmMaxIter = 30
+	coarseMaxLevels   = 32
+)
+
 // EigenBottomK computes the k smallest-eigenvalue eigenpairs of the
-// symmetric matrix using LOBPCG (locally optimal block preconditioned
-// conjugate gradient, unpreconditioned) with full reorthogonalization of
-// the Rayleigh–Ritz basis every iteration. Eigenvalues come back
+// symmetric matrix using preconditioned LOBPCG (locally optimal block
+// preconditioned conjugate gradient, Knyazev's formulation) with full
+// reorthogonalization of the Rayleigh–Ritz basis every iteration. The
+// residual block is preconditioned each iteration (Jacobi by default,
+// see BottomKOptions.Precond) and the starting block is prolonged from
+// a coarse-grid solve over a deterministic heavy-edge-matching
+// hierarchy (see BottomKOptions.RandomStart). Eigenvalues come back
 // ascending; for a normalized graph Laplacian the returned vectors are
 // the NJW spectral embedding, and a zero eigenvalue of multiplicity m
-// (one per connected component) is resolved exactly as long as the block
-// is at least m wide — the block carries k+8 vectors by default.
+// (one per connected component) is resolved exactly as long as the
+// block is at least m wide — the block carries k+8 vectors by default.
 //
 // Determinism: every arithmetic reduction (dot products, Gram–Schmidt,
 // the projected dense eigensolve) runs in a fixed serial order; only
-// independent per-column and per-row computations fan out over
-// internal/par, writing caller-owned slots. Results are therefore
+// independent per-column and fixed-chunk per-row computations fan out
+// over internal/par, writing caller-owned slots. Results are therefore
 // bitwise identical for every worker count, and depend only on the
-// matrix and the supplied generator.
+// matrix, the options, and the supplied generator.
+//
+// The steady-state iteration loop runs against workspace allocated once
+// per solve: at one worker it performs no allocations at all (pinned by
+// AllocsPerRun regression tests), and the matrix is streamed once per
+// block operation through CSR.MulVecs rather than once per column.
 //
 // On iteration-budget exhaustion the best-effort result is returned
 // together with a *ConvergenceError (wrapping ErrNoConvergence) carrying
@@ -124,151 +162,317 @@ func (c *CSR) EigenBottomK(k int, rng *rand.Rand, opt BottomKOptions) (*BottomKR
 		return c.denseBottomK(k)
 	}
 
-	// Random orthonormal starting block, drawn column by column in a
-	// fixed order so the start depends only on the generator state.
-	x := make([][]float64, b)
+	pre := opt.Precond
+	if pre == nil {
+		pre = NewJacobi(c)
+	}
+	st := newLobpcgState(c, b, pre)
+	levels := 0
+	if opt.RandomStart {
+		fillRandom(st.x, rng)
+	} else {
+		levels = fillWarmStart(c, st.x, rng, pre, 0)
+	}
+	orthonormalize(st.x)
+
+	iters := st.run(k, tol, maxIter)
+
+	out := &BottomKResult{
+		Values:       append([]float64(nil), st.lam[:k]...),
+		Residuals:    append([]float64(nil), st.res[:k]...),
+		Iters:        iters,
+		CoarseLevels: levels,
+		Vectors:      NewMatrix(n, k),
+	}
+	for j := 0; j < k; j++ {
+		for r := 0; r < n; r++ {
+			out.Vectors.Set(r, j, st.x[j][r])
+		}
+	}
+	for j := 0; j < k; j++ {
+		if st.res[j] > tol*(math.Abs(st.lam[j])+1) {
+			return out, &ConvergenceError{Residuals: out.Residuals, Tol: tol, Iters: iters}
+		}
+	}
+	return out, nil
+}
+
+// fillRandom draws the starting block column by column in a fixed order,
+// so the start depends only on the generator state.
+func fillRandom(x [][]float64, rng *rand.Rand) {
 	for j := range x {
-		x[j] = make([]float64, n)
 		for r := range x[j] {
 			x[j][r] = rng.NormFloat64()
 		}
 	}
-	orthonormalize(x)
+}
 
-	ax := newBlock(b, n)
-	lam := make([]float64, b)
-	res := make([]float64, b)
-	scratch := newBlock(b, n) // residual block, reused every iteration
-	var p [][]float64         // previous search directions (nil on iteration 1)
-
-	mulBlock(c, x, ax)
-	finish := func(iters int) (*BottomKResult, error) {
-		out := &BottomKResult{
-			Values:    append([]float64(nil), lam[:k]...),
-			Residuals: append([]float64(nil), res[:k]...),
-			Iters:     iters,
-			Vectors:   NewMatrix(n, k),
+// fillWarmStart seeds x with eigenvector estimates prolonged from a
+// coarse-grid solve: the graph is shrunk by deterministic heavy-edge
+// matching, the coarse problem is warm-started the same way
+// (recursively), refined by a short coarse-tolerance LOBPCG run, and
+// lifted back through the orthonormal aggregation prolongator. The
+// generator is consumed only at the bottom of the recursion, in the same
+// fixed column order as a direct random start. Returns the hierarchy
+// depth (0 = the block is random: the matrix was already small, the
+// matching stalled, or the coarse graph is too small to host the block).
+func fillWarmStart(c *CSR, x [][]float64, rng *rand.Rand, pre Preconditioner, depth int) int {
+	b := len(x)
+	if c.N >= coarseStartMinN && depth < coarseMaxLevels {
+		lvl := coarsen(c)
+		nc := lvl.op.N
+		if nc > 3*b+1 && nc <= c.N-c.N/8 {
+			cpre := precondFor(pre, lvl.op)
+			cst := newLobpcgState(lvl.op, b, cpre)
+			levels := fillWarmStart(lvl.op, cst.x, rng, cpre, depth+1)
+			orthonormalize(cst.x)
+			cst.run(b, coarseWarmTol, coarseWarmMaxIter)
+			lvl.prolong(cst.x, x)
+			return levels + 1
 		}
-		for j := 0; j < k; j++ {
-			for r := 0; r < n; r++ {
-				out.Vectors.Set(r, j, x[j][r])
-			}
-		}
-		for j := 0; j < k; j++ {
-			if res[j] > tol*(math.Abs(lam[j])+1) {
-				return out, &ConvergenceError{Residuals: out.Residuals, Tol: tol, Iters: iters}
-			}
-		}
-		return out, nil
 	}
+	fillRandom(x, rng)
+	return 0
+}
 
+// precondFor rebuilds the configured preconditioner kind for a coarse
+// operator, falling back to Jacobi for kinds that cannot re-derive
+// themselves.
+func precondFor(pre Preconditioner, op *CSR) Preconditioner {
+	if c, ok := pre.(coarsable); ok {
+		return c.ForMatrix(op)
+	}
+	return NewJacobi(op)
+}
+
+// lobpcgState is one solve's workspace: every block, projected-problem
+// buffer, and chunk-body closure the iteration loop touches is allocated
+// here once, so the loop itself is allocation-free in steady state. The
+// chunk bodies are bound method values stored in fields — handing a
+// field to the execution layer allocates nothing, where a fresh closure
+// per call would.
+type lobpcgState struct {
+	c   *CSR
+	pre Preconditioner
+	n   int
+	b   int
+
+	x, xalt [][]float64 // current / next eigenvector block (pointer ping-pong)
+	ax      [][]float64 // L·x
+	w       [][]float64 // residual block, preconditioned in place
+	p, palt [][]float64 // conjugate-direction pools (pointer ping-pong)
+	plen    int         // live columns in p
+	s       [][]float64 // Rayleigh–Ritz basis headers (pointers into x/w/p)
+	as      [][]float64 // L·s storage, 3b columns
+	dropped [][]float64 // orthonormalizeKeepAll scratch
+
+	lam, res []float64
+
+	m            int       // current basis size (len(s))
+	tData, vData []float64 // (3b)² projected-problem buffers
+	tm, tv       Matrix    // views over tData/vData sized m×m
+	order        []int     // ascending-eigenvalue permutation of tm's diagonal
+	evals        []float64
+
+	fRayleigh, fGram, fCompose, fConjugate func(lo, hi int)
+}
+
+func newLobpcgState(c *CSR, b int, pre Preconditioner) *lobpcgState {
+	n := c.N
+	st := &lobpcgState{
+		c: c, pre: pre, n: n, b: b,
+		x:       newBlock(b, n),
+		xalt:    newBlock(b, n),
+		ax:      newBlock(b, n),
+		w:       newBlock(b, n),
+		p:       newBlock(b, n),
+		palt:    newBlock(b, n),
+		s:       make([][]float64, 0, 3*b),
+		as:      newBlock(3*b, n),
+		dropped: make([][]float64, 0, b),
+		lam:     make([]float64, b),
+		res:     make([]float64, b),
+		tData:   make([]float64, 3*b*3*b),
+		vData:   make([]float64, 3*b*3*b),
+		order:   make([]int, 3*b),
+		evals:   make([]float64, 3*b),
+	}
+	st.fRayleigh = st.rayleighCols
+	st.fGram = st.gramRows
+	st.fCompose = st.composeCols
+	st.fConjugate = st.conjugateCols
+	return st
+}
+
+// fan runs a chunk body over [0, n): inline at one worker (the
+// zero-alloc path), otherwise over internal/par's fixed-grain chunk
+// layout. Both paths execute identical per-element arithmetic, so the
+// results are bitwise independent of the worker count.
+func (st *lobpcgState) fan(n int, body func(lo, hi int)) {
+	if par.Workers() == 1 {
+		body(0, n)
+		return
+	}
+	par.Chunks(n, 1, body)
+}
+
+// run drives the LOBPCG iteration until the first k pairs converge at
+// tol or maxIter is exhausted, starting from the orthonormal block in
+// st.x. On return st.x/st.lam/st.res hold the best pairs in ascending
+// eigenvalue order; the return value is the iteration count.
+func (st *lobpcgState) run(k int, tol float64, maxIter int) int {
+	b := st.b
+	st.c.MulVecs(st.x, st.ax)
 	for iter := 1; iter <= maxIter; iter++ {
-		// Rayleigh quotients and residual blocks on the current
-		// orthonormal X. Columns are independent: each fans out with its
-		// own serial arithmetic.
-		w := scratch
-		par.For(b, func(j int) {
-			lam[j] = dot(x[j], ax[j])
-			var rr float64
-			for r := 0; r < n; r++ {
-				d := ax[j][r] - lam[j]*x[j][r]
-				w[j][r] = d
-				rr += d * d
-			}
-			res[j] = math.Sqrt(rr)
-		})
+		// Rayleigh quotients and raw residuals on the current orthonormal
+		// X; convergence is judged on the unpreconditioned residual norms.
+		st.fan(b, st.fRayleigh)
 		done := true
 		for j := 0; j < k; j++ {
-			if res[j] > tol*(math.Abs(lam[j])+1) {
+			if st.res[j] > tol*(math.Abs(st.lam[j])+1) {
 				done = false
 				break
 			}
 		}
 		if done {
-			return finish(iter)
+			return iter
 		}
 		if iter == maxIter {
 			break
 		}
 
+		// W = M⁻¹ R: the preconditioned residual enters the trial basis
+		// (Knyazev's formulation).
+		st.pre.Apply(st.w)
+
 		// Rayleigh–Ritz basis S = [X | W | P], fully reorthogonalized by
 		// modified Gram–Schmidt; collapsed directions are dropped (the
-		// span is what matters, and dropping is deterministic).
-		s := make([][]float64, 0, 3*b)
-		s = append(s, x...)
-		s = append(s, w...)
-		if p != nil {
-			s = append(s, p...)
-		}
-		s = orthonormalizeDrop(s, b)
-		m := len(s)
+		// span is what matters, and dropping is deterministic). s holds
+		// pointers into the x/w/p pools — their contents are consumed
+		// here and rebuilt next iteration, so mutating them is free.
+		st.s = append(st.s[:0], st.x...)
+		st.s = append(st.s, st.w...)
+		st.s = append(st.s, st.p[:st.plen]...)
+		st.s = orthonormalizeDrop(st.s, b)
+		m := len(st.s)
+		st.m = m
 
-		as := newBlock(m, n)
-		mulBlock(c, s, as)
+		st.c.MulVecs(st.s, st.as[:m])
+
 		// T = Sᵀ (L S): row i writes (i, j>=i) and mirrors — disjoint
 		// across i, serial within a row.
-		t := NewMatrix(m, m)
-		par.For(m, func(i int) {
-			for j := i; j < m; j++ {
-				v := dot(s[i], as[j])
-				t.Set(i, j, v)
-				t.Set(j, i, v)
-			}
-		})
-		// Ritz values are recomputed as Rayleigh quotients at the top of
-		// the next iteration, so only the rotation matters here.
-		_, tvec, err := EigenSym(t)
-		if err != nil {
-			return nil, err
+		st.tm = Matrix{Rows: m, Cols: m, Data: st.tData[:m*m]}
+		st.fan(m, st.fGram)
+
+		// Projected eigensolve, serial and in-place on the preallocated
+		// views; the permutation orders Ritz values ascending.
+		vd := st.vData[:m*m]
+		for i := range vd {
+			vd[i] = 0
 		}
-		// Smallest-b Ritz pairs: EigenSym sorts descending, so they are
-		// the trailing columns; reorder ascending.
-		nx := newBlock(b, n)
-		par.For(b, func(j int) {
-			col := m - 1 - j
-			dst := nx[j]
-			for i := 0; i < m; i++ {
-				f := tvec.At(i, col)
-				if f == 0 {
-					continue
-				}
-				src := s[i]
-				for r := 0; r < n; r++ {
-					dst[r] += f * src[r]
-				}
-			}
-		})
-		// Conjugate directions: the component of the new block that is
-		// orthogonal to the old one, P = X' - X (Xᵀ X').
-		np := newBlock(b, n)
-		par.For(b, func(j int) {
-			copy(np[j], nx[j])
-			for i := 0; i < b; i++ {
-				f := dot(x[i], nx[j])
-				if f == 0 {
-					continue
-				}
-				src := x[i]
-				dst := np[j]
-				for r := 0; r < n; r++ {
-					dst[r] -= f * src[r]
-				}
-			}
-		})
-		p = orthonormalizeDrop(np, 0)
-		if len(p) == 0 {
-			p = nil
+		for i := 0; i < m; i++ {
+			vd[i*m+i] = 1
 		}
-		x = nx
-		orthonormalize(x)
-		mulBlock(c, x, ax)
+		st.tv = Matrix{Rows: m, Cols: m, Data: vd}
+		jacobiSweepsSerial(&st.tm, &st.tv, m, 100)
+		for i := 0; i < m; i++ {
+			st.evals[i] = st.tm.Data[i*m+i]
+			st.order[i] = i
+		}
+		sortOrderAscending(st.order[:m], st.evals[:m])
+
+		// New block from the smallest-b Ritz rotations, then conjugate
+		// directions P = X' - X (Xᵀ X') from the outgoing X.
+		st.fan(b, st.fCompose)
+		st.fan(b, st.fConjugate)
+		st.plen = orthonormalizeKeepAll(st.palt, 0, &st.dropped)
+		st.p, st.palt = st.palt, st.p
+		st.x, st.xalt = st.xalt, st.x
+		orthonormalize(st.x)
+		st.c.MulVecs(st.x, st.ax)
 	}
 
 	// Budget exhausted: lam/res were refreshed for the final block at the
-	// top of the last iteration; order the pairs and report
-	// non-convergence with the residual diagnostics attached.
-	sortPairsAscending(x, lam, res, b)
-	return finish(maxIter)
+	// top of the last iteration; order the pairs so this exit reports
+	// them like a converged one would.
+	sortPairsAscending(st.x, st.lam, st.res, b)
+	return maxIter
+}
+
+// rayleighCols computes λ_j = x_jᵀ (L x_j), the residual column
+// w_j = (L x_j) - λ_j x_j, and its 2-norm for block columns [lo, hi).
+// Columns are independent and each one's arithmetic is serial.
+func (st *lobpcgState) rayleighCols(lo, hi int) {
+	for j := lo; j < hi; j++ {
+		xj, axj, wj := st.x[j], st.ax[j], st.w[j]
+		lam := dot(xj, axj)
+		var rr float64
+		for r := range xj {
+			d := axj[r] - lam*xj[r]
+			wj[r] = d
+			rr += d * d
+		}
+		st.lam[j] = lam
+		st.res[j] = math.Sqrt(rr)
+	}
+}
+
+// gramRows fills rows [lo, hi) of the projected matrix T = Sᵀ (L S),
+// writing (i, j>=i) and the mirror cell — each cell owned by exactly one
+// row chunk.
+func (st *lobpcgState) gramRows(lo, hi int) {
+	m, data := st.m, st.tm.Data
+	for i := lo; i < hi; i++ {
+		si := st.s[i]
+		for j := i; j < m; j++ {
+			v := dot(si, st.as[j])
+			data[i*m+j] = v
+			data[j*m+i] = v
+		}
+	}
+}
+
+// composeCols builds next-X columns [lo, hi) from the ascending-order
+// Ritz rotations: xalt_j = Σ_i tv[i, order[j]] · s_i.
+func (st *lobpcgState) composeCols(lo, hi int) {
+	m, vd := st.m, st.tv.Data
+	for j := lo; j < hi; j++ {
+		col := st.order[j]
+		dst := st.xalt[j]
+		for r := range dst {
+			dst[r] = 0
+		}
+		for i := 0; i < m; i++ {
+			f := vd[i*m+col]
+			if f == 0 {
+				continue
+			}
+			src := st.s[i]
+			for r := range dst {
+				dst[r] += f * src[r]
+			}
+		}
+	}
+}
+
+// conjugateCols builds new conjugate directions for columns [lo, hi):
+// the component of the new block orthogonal to the outgoing one,
+// palt_j = xalt_j - Σ_i x_i (x_iᵀ xalt_j).
+func (st *lobpcgState) conjugateCols(lo, hi int) {
+	for j := lo; j < hi; j++ {
+		dst := st.palt[j]
+		copy(dst, st.xalt[j])
+		for i := 0; i < st.b; i++ {
+			src := st.x[i]
+			f := dot(src, st.xalt[j])
+			if f == 0 {
+				continue
+			}
+			for r := range dst {
+				dst[r] -= f * src[r]
+			}
+		}
+	}
 }
 
 // denseBottomK is the small-size fallback: one dense Jacobi
@@ -292,14 +496,6 @@ func (c *CSR) denseBottomK(k int) (*BottomKResult, error) {
 		}
 	}
 	return out, nil
-}
-
-// mulBlock computes y[j] = C x[j] for every block column, fanning the
-// independent columns out over the execution layer.
-func mulBlock(c *CSR, x, y [][]float64) {
-	par.For(len(x), func(j int) {
-		c.MulVec(x[j], y[j])
-	})
 }
 
 func newBlock(cols, n int) [][]float64 {
@@ -342,6 +538,58 @@ func orthonormalizeDrop(q [][]float64, keep int) [][]float64 {
 		out = append(out, col)
 	}
 	return out
+}
+
+// orthonormalizeKeepAll is orthonormalizeDrop for pooled storage: kept
+// columns compact to the front of q while the dropped columns' backing
+// slices are parked after them (contents unspecified), so a reused
+// workspace pool never strands storage. dropScratch is the caller's
+// persistent spill buffer. Returns the kept count.
+func orthonormalizeKeepAll(q [][]float64, keep int, dropScratch *[][]float64) int {
+	dropped := (*dropScratch)[:0]
+	kept := 0
+	for c := 0; c < len(q); c++ {
+		col := q[c]
+		for i := 0; i < kept; i++ {
+			prev := q[i]
+			f := dot(prev, col)
+			if f == 0 {
+				continue
+			}
+			for r := range col {
+				col[r] -= f * prev[r]
+			}
+		}
+		norm := math.Sqrt(dot(col, col))
+		if norm < 1e-10 && kept >= keep {
+			dropped = append(dropped, col)
+			continue
+		}
+		if norm == 0 {
+			norm = 1
+		}
+		inv := 1 / norm
+		for r := range col {
+			col[r] *= inv
+		}
+		q[kept] = col
+		kept++
+	}
+	copy(q[kept:], dropped)
+	*dropScratch = dropped[:0]
+	return kept
+}
+
+// sortOrderAscending insertion-sorts the index permutation by ascending
+// eigenvalue (stable, serial, allocation-free — the projected problem is
+// at most 3b wide, where insertion sort beats sort.Slice and its
+// closure/interface allocations).
+func sortOrderAscending(order []int, evals []float64) {
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && evals[order[j]] < evals[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
 }
 
 // sortPairsAscending orders the first b (vector, value, residual)

@@ -46,6 +46,17 @@ func (s *SparseSym) MulVec(x, y []float64) {
 	}
 }
 
+// StoredEntries counts the builder's stored entries (both triangles,
+// duplicates included) — the cheap nnz estimate the spectral baseline's
+// solver decision uses before the builder is finalized.
+func (s *SparseSym) StoredEntries() int {
+	total := 0
+	for _, cols := range s.Cols {
+		total += len(cols)
+	}
+	return total
+}
+
 // RowSums returns the per-row sums (the degree vector of an affinity
 // matrix).
 func (s *SparseSym) RowSums() []float64 {
